@@ -1,0 +1,134 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Regenerate every experiment table of EXPERIMENTS.md (fast profile)
+      -- the reproduction itself. One table group per theorem/lemma.
+   2. Bechamel micro-benchmarks of each experiment's computational
+      kernel (one Test.make per experiment), so performance regressions
+      in the simulators are visible. *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+(* -- Part 1: regenerate the experiment tables -------------------------- *)
+
+let regenerate_tables () =
+  let cfg = Dut_experiments.Config.make Dut_experiments.Config.Fast in
+  let total = Dut_experiments.Runner.run_all_to_channel cfg stdout in
+  Printf.printf "# all tables regenerated in %.1fs\n\n%!" total
+
+(* -- Part 2: kernel micro-benchmarks ----------------------------------- *)
+
+let kernel_tests () =
+  let rng = Dut_prng.Rng.create 2019 in
+  let ell = 7 in
+  let n = 1 lsl (ell + 1) in
+  let eps = 0.3 in
+  let hard = Dut_dist.Paninski.random ~ell ~eps rng in
+  let majority =
+    Dut_core.Threshold_tester.tester_majority ~n ~eps ~k:32 ~q:64
+      ~calibration_trials:50 ~rng:(Dut_prng.Rng.split rng)
+  in
+  let and_tester = Dut_core.And_tester.tester ~n ~eps ~k:32 ~q:256 in
+  let fixed_t =
+    Dut_core.Threshold_tester.tester_fixed ~n ~eps ~k:32 ~q:128 ~t:4
+  in
+  let rbit =
+    Dut_core.Rbit_tester.tester ~n ~eps ~k:32 ~q:64 ~bits:3
+      ~calibration_trials:50 ~rng:(Dut_prng.Rng.split rng)
+  in
+  let single = Dut_core.Single_sample.tester ~n ~eps ~k:2048 ~bits:3 in
+  let async =
+    Dut_core.Async_tester.tester ~n ~eps ~rates:(Array.make 16 1.) ~tau:64.
+      ~calibration_trials:50 ~rng:(Dut_prng.Rng.split rng)
+  in
+  let learning = Dut_core.Learning.make ~n:32 ~k:(32 * 50) ~q:4 in
+  let learning_truth = Dut_dist.Pmf.uniform 32 in
+  let g_exact = Dut_core.Exact.collision_acceptor ~ell:2 ~q:3 ~cutoff:1 in
+  let small_hard = Dut_dist.Paninski.random ~ell:2 ~eps rng in
+  let fwht_table = Array.init 4096 (fun i -> float_of_int (i land 7)) in
+  let round tester () =
+    tester.Dut_core.Evaluate.accepts (Dut_prng.Rng.split rng)
+      (Dut_protocol.Network.of_paninski hard)
+  in
+  let samples_1k = Dut_dist.Paninski.draw_many hard rng 1000 in
+  [
+    Test.make ~name:"T1/T2.majority-round" (Staged.stage (round majority));
+    Test.make ~name:"T2.and-round" (Staged.stage (round and_tester));
+    Test.make ~name:"T3.fixed-threshold-round" (Staged.stage (round fixed_t));
+    Test.make ~name:"T4.learning-round"
+      (Staged.stage (fun () ->
+           Dut_core.Learning.l1_error learning (Dut_prng.Rng.split rng)
+             ~truth:learning_truth));
+    Test.make ~name:"T5.collision-statistic-1k"
+      (Staged.stage (fun () -> Dut_core.Local_stat.collisions samples_1k));
+    Test.make ~name:"T6.rbit-round" (Staged.stage (round rbit));
+    Test.make ~name:"T7.async-round" (Staged.stage (round async));
+    Test.make ~name:"T10.single-sample-round" (Staged.stage (round single));
+    Test.make ~name:"F1/T8/T11.exact-nu"
+      (Staged.stage (fun () -> Dut_core.Exact.nu g_exact small_hard));
+    Test.make ~name:"F1.lemma41-fourier-diff"
+      (Staged.stage (fun () -> Dut_core.Exact.diff_fourier g_exact small_hard));
+    Test.make ~name:"F2.moment-a_r-exact"
+      (Staged.stage (fun () ->
+           Dut_boolcube.Even_cover.moment_a_r_exact ~m:4 ~q:4 ~r:1 ~power:2));
+    Test.make ~name:"F3.fwht-4096"
+      (Staged.stage (fun () ->
+           Dut_boolcube.Fourier.wht_in_place (Array.copy fwht_table)));
+    Test.make ~name:"F4.paninski-draw-1k"
+      (Staged.stage (fun () -> Dut_dist.Paninski.draw_many hard rng 1000));
+    (let target = Dut_dist.Families.zipf ~n ~s:1. in
+     let reduction = Dut_testers.Identity.make ~target ~eps in
+     Test.make ~name:"T12.identity-flatten-1k"
+       (Staged.stage (fun () ->
+            for _ = 1 to 1000 do
+              ignore
+                (Dut_testers.Identity.map_sample reduction rng
+                   (Dut_prng.Rng.int rng n))
+            done)));
+    (let graph = Dut_netsim.Graph.grid 6 6 in
+     let local =
+       Dut_netsim.Local_tester.make ~graph ~n ~eps ~q:64 ~calibration_trials:50
+         ~rng:(Dut_prng.Rng.split rng)
+     in
+     Test.make ~name:"T13.local-model-round"
+       (Staged.stage (fun () ->
+            Dut_netsim.Local_tester.run local (Dut_prng.Rng.split rng)
+              (Dut_protocol.Network.of_paninski hard))));
+    Test.make ~name:"A1.calibration-200"
+      (Staged.stage (fun () ->
+           Dut_core.Threshold_tester.tester_majority ~n ~eps ~k:32 ~q:64
+             ~calibration_trials:200 ~rng:(Dut_prng.Rng.split rng)));
+  ]
+
+let run_kernels () =
+  let tests = kernel_tests () in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  print_endline "== kernel micro-benchmarks (Bechamel, ns/run) ==";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+          let tbl = Hashtbl.create 1 in
+          Hashtbl.replace tbl (Test.Elt.name elt) raw;
+          let results = Analyze.all ols Instance.monotonic_clock tbl in
+          Hashtbl.iter
+            (fun name ols_result ->
+              let ns =
+                match Analyze.OLS.estimates ols_result with
+                | Some (estimate :: _) -> estimate
+                | Some [] | None -> Float.nan
+              in
+              Printf.printf "%-28s %14.1f ns/run\n%!" name ns)
+            results)
+        (Test.elements test))
+    tests
+
+let () =
+  regenerate_tables ();
+  run_kernels ()

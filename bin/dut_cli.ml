@@ -1,0 +1,168 @@
+(* Command-line driver: list and run the reproduction experiments.
+
+   dut list
+   dut run T1-any-rule [--profile fast|full] [--seed N] [--csv]
+   dut run-all [--profile ...] *)
+
+open Cmdliner
+
+let profile_conv =
+  let parse s =
+    match Dut_experiments.Config.profile_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown profile %S (fast|full)" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Dut_experiments.Config.profile_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Dut_experiments.Config.Fast
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Parameter profile: $(b,fast) (seconds) or $(b,full) (the sizes in EXPERIMENTS.md).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 2019
+    & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
+
+let trials_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "t"; "trials" ] ~docv:"TRIALS"
+        ~doc:"Override the profile's Monte-Carlo trials per estimate.")
+
+let run_one ~profile ~seed ~csv ?trials id =
+  match Dut_experiments.Registry.find id with
+  | None ->
+      Printf.eprintf "unknown experiment %S; try `dut list`\n" id;
+      exit 1
+  | Some exp ->
+      let cfg = Dut_experiments.Config.make ~seed ?trials profile in
+      ignore (Dut_experiments.Runner.run_to_channel ~csv cfg exp stdout)
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-20s %s\n    %s\n" e.Dut_experiments.Exp.id e.title
+          e.statement)
+      Dut_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment by id." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT-ID")
+  in
+  let run profile seed csv trials id = run_one ~profile ~seed ~csv ?trials id in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ id_arg)
+
+let run_all_cmd =
+  let doc = "Run every experiment in the registry." in
+  let run profile seed csv trials =
+    List.iter
+      (fun e -> run_one ~profile ~seed ~csv ?trials e.Dut_experiments.Exp.id)
+      Dut_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "run-all" ~doc)
+    Term.(const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg)
+
+let bounds_cmd =
+  let doc = "Print every bound of the paper for given parameters." in
+  let n_arg = Arg.(value & opt int 4096 & info [ "n" ] ~docv:"N" ~doc:"Universe size.") in
+  let k_arg = Arg.(value & opt int 64 & info [ "k" ] ~docv:"K" ~doc:"Number of players.") in
+  let eps_arg =
+    Arg.(value & opt float 0.25 & info [ "e"; "eps" ] ~docv:"EPS" ~doc:"Proximity parameter.")
+  in
+  let run n k eps =
+    let line name v note = Printf.printf "%-34s %12.1f   %s\n" name v note in
+    Printf.printf "bounds for n=%d, k=%d, eps=%.3f (constants set to 1)\n\n" n k eps;
+    line "centralized [16]" (Dut_core.Bounds.centralized ~n ~eps) "samples, one tester";
+    line "Thm 1.1 lower (any rule)"
+      (Dut_core.Bounds.thm11_lower ~n ~k ~eps)
+      (if Dut_core.Bounds.thm11_applies ~n ~k ~eps then "per player"
+       else "per player (outside k <= n/eps^2!)");
+    line "FMO threshold upper"
+      (Dut_core.Bounds.fmo_threshold_upper ~n ~k ~eps)
+      "per player: matches Thm 1.1";
+    line "Thm 1.2 lower (AND rule)"
+      (Dut_core.Bounds.thm12_and_lower ~n ~k ~eps)
+      "per player";
+    line "FMO AND upper" (Dut_core.Bounds.fmo_and_upper ~n ~k ~eps) "per player";
+    List.iter
+      (fun t ->
+        line
+          (Printf.sprintf "Thm 1.3 lower (T=%d)" t)
+          (Dut_core.Bounds.thm13_threshold_lower ~n ~k ~eps ~t)
+          "per player")
+      [ 1; 4; 16 ];
+    List.iter
+      (fun r ->
+        line
+          (Printf.sprintf "Thm 6.4 lower (r=%d bits)" r)
+          (Dut_core.Bounds.thm64_rbit_lower ~n ~k ~eps ~r)
+          "per player")
+      [ 1; 2; 4 ];
+    List.iter
+      (fun q ->
+        line
+          (Printf.sprintf "Thm 1.4 learning nodes (q=%d)" q)
+          (Dut_core.Bounds.thm14_learning_nodes ~n ~q)
+          "players")
+      [ 1; 4; 16 ];
+    line "ACT single-sample nodes (2 bits)"
+      (Dut_core.Bounds.act_single_sample_nodes ~n ~eps ~bits:2)
+      "players at q=1";
+    line "async time (k unit rates)"
+      (Dut_core.Bounds.async_time_lower ~n ~eps ~rates:(Array.make k 1.))
+      "time units"
+  in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run $ n_arg $ k_arg $ eps_arg)
+
+let verify_cmd =
+  let doc =
+    "Check the paper's exact claims (F1/F2/F3/F5, T8, T11) and exit non-zero \
+     on any violation."
+  in
+  let run profile seed =
+    let cfg = Dut_experiments.Config.make ~seed profile in
+    let verdicts = Dut_experiments.Verifier.verify_all cfg in
+    List.iter
+      (fun v ->
+        if v.Dut_experiments.Verifier.failures = [] then
+          Printf.printf "PASS %-18s (%d checks)\n" v.experiment v.checks
+        else begin
+          Printf.printf "FAIL %-18s (%d checks, %d failures)\n" v.experiment
+            v.checks
+            (List.length v.failures);
+          List.iter (fun f -> Printf.printf "     %s\n" f) v.failures
+        end)
+      verdicts;
+    if Dut_experiments.Verifier.all_passed verdicts then begin
+      print_endline "all exact claims verified";
+      exit 0
+    end
+    else exit 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ profile_arg $ seed_arg)
+
+let main =
+  let doc =
+    "Reproduction experiments for 'Can Distributed Uniformity Testing Be \
+     Local?' (PODC 2019)"
+  in
+  Cmd.group (Cmd.info "dut" ~doc)
+    [ list_cmd; run_cmd; run_all_cmd; bounds_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval main)

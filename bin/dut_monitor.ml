@@ -1,0 +1,121 @@
+(* dut-monitor: an online drift monitor built on the distributed tester.
+
+   Simulates a fleet of k agents sampling a key stream that starts
+   uniform and, at a chosen epoch, drifts to a Paninski-style skew. Each
+   epoch, every agent draws q fresh samples and votes; the coordinator
+   applies the calibrated count rule and (with majority-of-r smoothing)
+   raises an alarm. The tool prints the per-epoch verdicts and the
+   detection latency — the library's intended deployment shape, end to
+   end.
+
+     dune exec bin/dut_monitor.exe -- --epochs 30 --drift-at 15
+     dune exec bin/dut_monitor.exe -- -n 1024 -k 64 --eps 0.2 *)
+
+open Cmdliner
+
+let run n k eps q_opt epochs drift_at smoothing crash seed =
+  if drift_at < 1 || drift_at > epochs then begin
+    Printf.eprintf "drift epoch must be within [1, epochs]\n";
+    exit 1
+  end;
+  let rng = Dut_prng.Rng.create seed in
+  let ell =
+    (* n must be a power of two >= 4 for the hard-family drift model. *)
+    let rec log2 acc m = if m <= 1 then acc else log2 (acc + 1) (m / 2) in
+    log2 0 n - 1
+  in
+  let n = 1 lsl (ell + 1) in
+  let q =
+    match q_opt with
+    | Some q -> q
+    | None -> 4 * int_of_float (Dut_core.Bounds.fmo_threshold_upper ~n ~k ~eps)
+  in
+  Printf.printf
+    "monitor: %d agents x %d samples/epoch over %d keys (eps=%.2f, smoothing=last %d)\n"
+    k q n eps smoothing;
+  if crash > 0. then
+    Printf.printf "agents crash independently with probability %.2f per epoch\n"
+      crash;
+  let crash_tester =
+    Dut_core.Crash_tester.make ~n ~eps ~k ~q ~crash_prob:crash
+      ~calibration_trials:300 ~rng:(Dut_prng.Rng.split rng)
+  in
+  let drifted = Dut_dist.Paninski.random ~ell ~eps rng in
+  Printf.printf "stream drifts at epoch %d (l1 distance %.2f from uniform)\n\n"
+    drift_at eps;
+  let window = Queue.create () in
+  let alarm_epoch = ref None in
+  let false_alarms = ref 0 in
+  for epoch = 1 to epochs do
+    let drifted_now = epoch >= drift_at in
+    let source =
+      if drifted_now then Dut_protocol.Network.of_paninski drifted
+      else Dut_protocol.Network.uniform_source ~n
+    in
+    let accept =
+      Dut_core.Crash_tester.accepts crash_tester (Dut_prng.Rng.split rng) source
+    in
+    Queue.add accept window;
+    if Queue.length window > smoothing then ignore (Queue.pop window);
+    let rejects =
+      Queue.fold (fun acc a -> if a then acc else acc + 1) 0 window
+    in
+    let alarm = 2 * rejects > Queue.length window in
+    if alarm && !alarm_epoch = None && drifted_now then alarm_epoch := Some epoch;
+    if alarm && not drifted_now then incr false_alarms;
+    Printf.printf "epoch %3d  %-8s vote:%-7s window rejects %d/%d  %s\n" epoch
+      (if drifted_now then "DRIFTED" else "uniform")
+      (if accept then "accept" else "reject")
+      rejects (Queue.length window)
+      (if alarm then "<< ALARM" else "")
+  done;
+  print_newline ();
+  (match !alarm_epoch with
+  | Some e ->
+      Printf.printf "alarm raised at epoch %d: detection latency %d epochs\n" e
+        (e - drift_at + 1)
+  | None -> print_endline "drift was never flagged (raise q or smoothing)");
+  Printf.printf "false alarms before the drift: %d\n" !false_alarms
+
+let n_arg =
+  Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"Universe size (rounded to a power of two).")
+
+let k_arg = Arg.(value & opt int 32 & info [ "k" ] ~docv:"K" ~doc:"Number of agents.")
+
+let eps_arg =
+  Arg.(value & opt float 0.3 & info [ "e"; "eps" ] ~docv:"EPS" ~doc:"Drift threshold (l1).")
+
+let q_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "q" ] ~docv:"Q" ~doc:"Samples per agent per epoch (default: 4x the theory bound).")
+
+let epochs_arg =
+  Arg.(value & opt int 24 & info [ "epochs" ] ~docv:"E" ~doc:"Number of epochs to simulate.")
+
+let drift_arg =
+  Arg.(value & opt int 13 & info [ "drift-at" ] ~docv:"E" ~doc:"Epoch at which the stream drifts.")
+
+let smoothing_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "smoothing" ] ~docv:"R" ~doc:"Alarm on a majority of the last R epoch verdicts.")
+
+let crash_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "crash" ] ~docv:"PROB"
+        ~doc:"Per-epoch probability that an agent crashes (sends nothing).")
+
+let seed_arg = Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let cmd =
+  let doc = "Online uniformity-drift monitor built on the distributed tester." in
+  Cmd.v
+    (Cmd.info "dut-monitor" ~doc)
+    Term.(
+      const run $ n_arg $ k_arg $ eps_arg $ q_arg $ epochs_arg $ drift_arg
+      $ smoothing_arg $ crash_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,83 @@
+let evenly_covered ~x ~s =
+  (* XOR-fold a per-value parity table; all parities must end even. Values
+     are small non-negative ints, so a hashtable keyed by value suffices. *)
+  let parities = Hashtbl.create 8 in
+  Array.iteri
+    (fun j v ->
+      if (s lsr j) land 1 = 1 then
+        let p = try Hashtbl.find parities v with Not_found -> 0 in
+        Hashtbl.replace parities v (p lxor 1))
+    x;
+  Hashtbl.fold (fun _ p acc -> acc && p = 0) parities true
+
+let a_r ~x ~r =
+  let q = Array.length x in
+  if 2 * r > q then 0
+  else begin
+    let count = ref 0 in
+    Cube.iter_subsets_of_size ~dim:q ~size:(2 * r) (fun s ->
+        if evenly_covered ~x ~s then incr count);
+    !count
+  end
+
+let count_even_sequences ~m ~len =
+  if len < 0 then invalid_arg "Even_cover.count_even_sequences: negative length";
+  if len mod 2 = 1 then 0.
+  else begin
+    let acc = ref 0. in
+    for k = 0 to m do
+      let base = float_of_int (m - (2 * k)) in
+      acc := !acc +. (Cube.binomial m k *. (base ** float_of_int len))
+    done;
+    Float.round (!acc /. (2. ** float_of_int m))
+  end
+
+let count_x_s ~m ~q ~s_size =
+  if s_size < 0 || s_size > q then invalid_arg "Even_cover.count_x_s";
+  count_even_sequences ~m ~len:s_size
+  *. (float_of_int m ** float_of_int (q - s_size))
+
+let x_s_upper_bound ~m ~q ~s_size =
+  if s_size mod 2 = 1 then 0.
+  else
+    let r = s_size / 2 in
+    Cube.double_factorial (s_size - 1)
+    *. (float_of_int m ** float_of_int (q - r))
+
+let sum_a_r ~m ~q ~r =
+  Cube.binomial q (2 * r) *. count_x_s ~m ~q ~s_size:(2 * r)
+
+let mean_a_r_upper_bound ~m ~q ~r =
+  let n = float_of_int (2 * m) in
+  (float_of_int q *. float_of_int q /. n) ** float_of_int r
+
+let moment_a_r_exact ~m ~q ~r ~power =
+  let total =
+    let rec pow acc i = if i = 0 then acc else pow (acc * m) (i - 1) in
+    pow 1 q
+  in
+  if total > 1 lsl 24 then
+    invalid_arg "Even_cover.moment_a_r_exact: state space too large";
+  let x = Array.make q 0 in
+  let decode idx =
+    let rest = ref idx in
+    for j = 0 to q - 1 do
+      x.(j) <- !rest mod m;
+      rest := !rest / m
+    done
+  in
+  let acc = ref 0. in
+  for idx = 0 to total - 1 do
+    decode idx;
+    let a = float_of_int (a_r ~x ~r) in
+    acc := !acc +. (a ** float_of_int power)
+  done;
+  !acc /. float_of_int total
+
+let moment_a_r_bound ~n ~q ~r ~power =
+  let mm = float_of_int power in
+  let rr = float_of_int r in
+  let ratio = float_of_int q /. sqrt (float_of_int n /. 2.) in
+  let lead = (4. *. mm) ** (2. *. mm *. rr) in
+  if ratio >= 1. then lead *. (ratio ** (2. *. mm *. rr))
+  else lead *. (ratio ** (2. *. rr))

@@ -1,0 +1,58 @@
+(** The "evenly covered multiset" combinatorics of Section 5.
+
+    Fix a tuple of samples x = (x_1, …, x_q), each x_i drawn from an
+    alphabet of M = n/2 values (the left-cube identities of the hard
+    family), and an index set S ⊆ [q]. The multiset x_S = {x_j}_{j∈S} is
+    {e evenly covered} when every alphabet value appears an even number of
+    times in it. These are exactly the (x, S) pairs whose Fourier summand
+    survives the expectation over the perturbation z (the "odd
+    cancelation"), so the whole lower-bound proof rides on how rare they
+    are. This module provides the exact predicate, exact counts, the
+    paper's upper bounds (Proposition 5.2), the statistic a_r(x) and its
+    moments (Lemma 5.5) — everything exhaustively computable on small
+    instances so that the experiments can compare exact values to the
+    bounds. *)
+
+val evenly_covered : x:int array -> s:int -> bool
+(** [evenly_covered ~x ~s] — is the multiset {x_j : j ∈ S} evenly covered?
+    [s] is a bitmask over the positions 0 .. length x − 1. The empty set is
+    evenly covered. *)
+
+val a_r : x:int array -> r:int -> int
+(** [a_r ~x ~r] is a_r(x) = #{S : |S| = 2r and x_S evenly covered}
+    (Section 5.1). *)
+
+val count_even_sequences : m:int -> len:int -> float
+(** [count_even_sequences ~m ~len] is the number of sequences of length
+    [len] over an alphabet of [m] symbols in which every symbol occurs an
+    even number of times: 2^{−m} Σ_k C(m,k)(m−2k)^len (exponential
+    generating function of cosh^m). Zero for odd [len]. *)
+
+val count_x_s : m:int -> q:int -> s_size:int -> float
+(** [count_x_s ~m ~q ~s_size] is the exact size of
+    X_S = {x ∈ [m]^q : x_S evenly covered} for any S with |S| = [s_size] —
+    by symmetry it depends only on |S| (Proposition 5.2(1)):
+    [count_even_sequences ~m ~len:s_size ·  m^(q − s_size)]. *)
+
+val x_s_upper_bound : m:int -> q:int -> s_size:int -> float
+(** Proposition 5.2(2): |X_S| ≤ (|S|−1)!! · m^{q−|S|/2} (with m = n/2).
+    Defined for even [s_size]; for odd sizes the count is zero and the
+    bound returned is 0. *)
+
+val sum_a_r : m:int -> q:int -> r:int -> float
+(** Σ_x a_r(x) = C(q,2r)·|X_{2r}| — the interchange-of-summation identity
+    of Section 5.1, computed in closed form. *)
+
+val mean_a_r_upper_bound : m:int -> q:int -> r:int -> float
+(** The estimate E_x[a_r(x)] ≤ (q²/n)^r of Section 5.1, with n = 2m. *)
+
+val moment_a_r_exact : m:int -> q:int -> r:int -> power:int -> float
+(** [moment_a_r_exact ~m ~q ~r ~power] is E_x[a_r(x)^power] computed by
+    exhaustive enumeration of all m^q tuples. Feasible for m^q ≲ 10^7.
+
+    @raise Invalid_argument if the state space is too large (m^q > 2^24). *)
+
+val moment_a_r_bound : n:int -> q:int -> r:int -> power:int -> float
+(** The Lemma 5.5 upper bound on E_x[a_r(x)^m] with [power] = m and
+    universe size [n] (= 2·alphabet): (4m)^{2mr}·(q/√(n/2))^{2mr} when
+    q ≥ √(n/2), and (4m)^{2mr}·(q/√(n/2))^{2r} when q < √(n/2). *)

@@ -1,0 +1,102 @@
+type t = { dim : int; coeffs : float array }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let wht_in_place a =
+  let n = Array.length a in
+  if not (is_power_of_two n) then
+    invalid_arg "Fourier.wht_in_place: length must be a power of two";
+  let h = ref 1 in
+  while !h < n do
+    let step = !h lsl 1 in
+    let i = ref 0 in
+    while !i < n do
+      for j = !i to !i + !h - 1 do
+        let x = a.(j) and y = a.(j + !h) in
+        a.(j) <- x +. y;
+        a.(j + !h) <- x -. y
+      done;
+      i := !i + step
+    done;
+    h := step
+  done
+
+let dim_of_length n =
+  let rec go d m = if m = 1 then d else go (d + 1) (m lsr 1) in
+  go 0 n
+
+let transform table =
+  let n = Array.length table in
+  if not (is_power_of_two n) then
+    invalid_arg "Fourier.transform: length must be a power of two";
+  let coeffs = Array.copy table in
+  wht_in_place coeffs;
+  let inv_n = 1. /. float_of_int n in
+  Array.iteri (fun i c -> coeffs.(i) <- c *. inv_n) coeffs;
+  { dim = dim_of_length n; coeffs }
+
+let inverse t =
+  let table = Array.copy t.coeffs in
+  wht_in_place table;
+  table
+
+let coeff t s = t.coeffs.(s)
+
+let mean t = t.coeffs.(0)
+
+let norm2_sq t = Array.fold_left (fun acc c -> acc +. (c *. c)) 0. t.coeffs
+
+let variance t = norm2_sq t -. (t.coeffs.(0) *. t.coeffs.(0))
+
+let level_weight t r =
+  let acc = ref 0. in
+  Cube.iter_subsets_of_size ~dim:t.dim ~size:r (fun s ->
+      acc := !acc +. (t.coeffs.(s) *. t.coeffs.(s)));
+  !acc
+
+let weight_up_to t r =
+  let acc = ref 0. in
+  for level = 1 to min r t.dim do
+    acc := !acc +. level_weight t level
+  done;
+  !acc
+
+let kkl_bound ~mu ~r ~delta =
+  (delta ** float_of_int (-r)) *. (mu ** (2. /. (1. +. delta)))
+
+let of_boolean g ~dim =
+  let n = 1 lsl dim in
+  let table = Array.init n (fun x -> if g x then 1. else 0.) in
+  transform table
+
+let noise ~rho t =
+  if rho < -1. || rho > 1. then invalid_arg "Fourier.noise: rho outside [-1,1]";
+  {
+    dim = t.dim;
+    coeffs =
+      Array.mapi
+        (fun s c -> c *. (rho ** float_of_int (Cube.popcount s)))
+        t.coeffs;
+  }
+
+let lp_norm table ~p =
+  if p < 1. then invalid_arg "Fourier.lp_norm: p < 1";
+  let n = float_of_int (Array.length table) in
+  let total =
+    Array.fold_left (fun acc x -> acc +. (Float.abs x ** p)) 0. table
+  in
+  (total /. n) ** (1. /. p)
+
+let hypercontractive_ratio table ~rho =
+  let smoothed = inverse (noise ~rho (transform table)) in
+  let numer = lp_norm smoothed ~p:2. in
+  let denom = lp_norm table ~p:(1. +. (rho *. rho)) in
+  if denom = 0. then 0. else numer /. denom
+
+let inner_product f g =
+  if f.dim <> g.dim then invalid_arg "Fourier.inner_product: dimension mismatch";
+  let acc = ref 0. in
+  for s = 0 to Array.length f.coeffs - 1 do
+    acc := !acc +. (f.coeffs.(s) *. g.coeffs.(s))
+  done;
+  !acc

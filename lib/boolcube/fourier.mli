@@ -1,0 +1,83 @@
+(** Fourier analysis of real-valued functions on the Boolean cube.
+
+    A function f : {-1,1}^b → ℝ is represented by a [float array] of length
+    2^b, indexed by the point encoding of {!Cube}. Its Fourier expansion is
+    f = Σ_S f̂(S)·χ_S with f̂(S) = ⟨f, χ_S⟩ = E_x[f(x)χ_S(x)] — the
+    normalization of the paper's Section 2. All transforms are exact
+    (fast Walsh–Hadamard), O(b·2^b). *)
+
+type t = {
+  dim : int;  (** the cube dimension b *)
+  coeffs : float array;  (** f̂(S) indexed by the bitmask of S, length 2^b *)
+}
+(** A Fourier transform: the full table of coefficients. *)
+
+val wht_in_place : float array -> unit
+(** [wht_in_place a] replaces [a] with its (unnormalized) Walsh–Hadamard
+    transform: a'[s] = Σ_x a[x]·χ_S(x). Involutive up to the factor
+    [Array.length a].
+
+    @raise Invalid_argument if the length is not a power of two. *)
+
+val transform : float array -> t
+(** [transform table] is the Fourier transform of the function whose value
+    table is [table] (not modified). *)
+
+val inverse : t -> float array
+(** [inverse t] recovers the value table; [inverse (transform f) = f] up to
+    float rounding. *)
+
+val coeff : t -> int -> float
+(** [coeff t s] is f̂(S) for the bitmask [s]. *)
+
+val mean : t -> float
+(** μ(f) = f̂(∅) (Fact 2.2). *)
+
+val variance : t -> float
+(** var(f) = Σ_{S≠∅} f̂(S)² (Fact 2.2). *)
+
+val norm2_sq : t -> float
+(** ‖f‖₂² = Σ_S f̂(S)² (Parseval). *)
+
+val level_weight : t -> int -> float
+(** [level_weight t r] is W^r[f], the sum of f̂(S)² over sets of size
+    exactly [r]. *)
+
+val weight_up_to : t -> int -> float
+(** [weight_up_to t r] is Σ_{1 ≤ |S| ≤ r} f̂(S)² — the low-level weight
+    bounded by the KKL level inequality (the empty set excluded). *)
+
+val kkl_bound : mu:float -> r:int -> delta:float -> float
+(** [kkl_bound ~mu ~r ~delta] is the right-hand side δ^{−r}·μ^{2/(1+δ)} of
+    the level inequality (Lemma 5.4) for a Boolean function of mean [mu].
+    Note the paper states it for weight up to level [r] including the
+    empty set's μ² term, for μ ≤ 1/2 and 0 < δ ≤ 1. *)
+
+val of_boolean : (int -> bool) -> dim:int -> t
+(** [of_boolean g ~dim] transforms the 0/1-valued function [g] given as a
+    predicate on encoded points. *)
+
+val inner_product : t -> t -> float
+(** ⟨f, g⟩ = Σ_S f̂(S)ĝ(S) (Plancherel, Fact 2.1).
+
+    @raise Invalid_argument on dimension mismatch. *)
+
+val noise : rho:float -> t -> t
+(** The noise operator T_ρ: multiplies each coefficient by ρ^card(S).
+    T_ρ f(x) is the expectation of f over ρ-correlated inputs — the
+    semigroup behind the level inequalities (Lemma 5.4 follows from its
+    hypercontractivity).
+
+    @raise Invalid_argument if ρ outside [-1, 1]. *)
+
+val lp_norm : float array -> p:float -> float
+(** ‖f‖_p = (E_x|f(x)|^p)^(1/p) over the uniform cube measure, from a
+    value table.
+
+    @raise Invalid_argument if p < 1. *)
+
+val hypercontractive_ratio : float array -> rho:float -> float
+(** ‖T_ρ f‖₂ / ‖f‖_(1+ρ²) for the function given by a value table — the
+    Bonami–Beckner inequality says this never exceeds 1. Exported so
+    tests and the Fourier explorer can exhibit the inequality behind
+    the KKL bound. Returns 0 for the zero function. *)

@@ -1,0 +1,29 @@
+let wrap ~rounds tester =
+  if rounds <= 0 || rounds mod 2 = 0 then
+    invalid_arg "Amplify.wrap: rounds must be positive and odd";
+  {
+    Evaluate.name = Printf.sprintf "majority-of-%d(%s)" rounds tester.Evaluate.name;
+    accepts =
+      (fun rng source ->
+        let accepts = ref 0 in
+        for _ = 1 to rounds do
+          if tester.Evaluate.accepts (Dut_prng.Rng.split rng) source then
+            incr accepts
+        done;
+        2 * !accepts > rounds);
+  }
+
+let error_bound ~rounds ~round_error =
+  if round_error >= 0.5 then 1.
+  else
+    let gap = 0.5 -. round_error in
+    Float.min 1. (exp (-2. *. float_of_int rounds *. gap *. gap))
+
+let rounds_for ~target_error ~round_error =
+  if round_error >= 0.5 then invalid_arg "Amplify.rounds_for: round error >= 1/2";
+  if target_error <= 0. || target_error >= 1. then
+    invalid_arg "Amplify.rounds_for: target out of (0,1)";
+  let rec go r =
+    if error_bound ~rounds:r ~round_error <= target_error then r else go (r + 2)
+  in
+  go 1

@@ -1,0 +1,28 @@
+(** Success amplification by independent repetition.
+
+    The model of Section 2 demands success probability 2/3; deployments
+    usually want much more. Running an entire protocol round r times
+    (odd r) and taking the majority verdict drives the error down
+    exponentially: if one round errs with probability δ < 1/2, the
+    majority errs with probability ≤ exp(−2r(1/2 − δ)²) (Hoeffding).
+    This module implements the wrapper — used by the robustness-gate
+    example — and exposes the error bound and the round count needed for
+    a target error, so tests can confront the measured amplification
+    with the theory. *)
+
+val wrap : rounds:int -> Evaluate.tester -> Evaluate.tester
+(** [wrap ~rounds t] runs [t] [rounds] times on independent coin streams
+    and fresh samples, answering the majority verdict.
+
+    @raise Invalid_argument unless [rounds] is positive and odd. *)
+
+val error_bound : rounds:int -> round_error:float -> float
+(** Hoeffding bound on the majority's error: exp(−2r(1/2 − δ)²), or 1.
+    when δ ≥ 1/2. *)
+
+val rounds_for : target_error:float -> round_error:float -> int
+(** Smallest odd r with [error_bound ~rounds:r ~round_error] ≤
+    [target_error].
+
+    @raise Invalid_argument if [round_error >= 0.5] or target not in
+    (0,1). *)

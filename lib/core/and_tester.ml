@@ -1,0 +1,27 @@
+type t = { n : int; k : int; q : int; cutoff : int }
+
+let make ~n ~eps ~k ~q =
+  if n <= 0 || k <= 0 || q < 0 then invalid_arg "And_tester.make: bad sizes";
+  if eps <= 0. || eps >= 1. then invalid_arg "And_tester.make: eps out of (0,1)";
+  (* Largest per-player alarm rate keeping the whole network's null
+     rejection probability (any alarm fires) comfortably under 1/3 (0.18: margin for Monte-Carlo noise and the
+     Poisson/normal tail model). *)
+  let false_alarm = Dut_stats.Tail.binomial_max_p ~k ~t:1 ~level:0.18 in
+  { n; k; q; cutoff = Local_stat.alarm_cutoff ~n ~q ~false_alarm }
+
+let local_cutoff t = t.cutoff
+
+let accepts t rng source =
+  let player ~index:_ _coins samples = Local_stat.collisions samples < t.cutoff in
+  let round =
+    Dut_protocol.Network.round ~rng ~source ~k:t.k ~q:t.q ~player
+      ~rule:Dut_protocol.Rule.And
+  in
+  round.accept
+
+let tester ~n ~eps ~k ~q =
+  let t = make ~n ~eps ~k ~q in
+  {
+    Evaluate.name = Printf.sprintf "and(n=%d,k=%d,q=%d)" n k q;
+    accepts = accepts t;
+  }

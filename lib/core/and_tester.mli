@@ -1,0 +1,29 @@
+(** The AND-rule (fully local) distributed uniformity tester of [7],
+    whose cost Theorem 1.2 lower-bounds.
+
+    Each player compares its collision count to a rare-alarm cutoff
+    calibrated so that the per-player false-alarm probability is about
+    1/(5k) — under the uniform distribution the probability that {e any}
+    of the k players raises an alarm then stays below 1/3. Rejection
+    requires some single player to see, all by itself, statistically
+    overwhelming evidence; this is exactly the "highly-biased bits carry
+    even less information" regime of Lemma 4.3, and the reason the
+    tester's sample complexity barely improves with k. *)
+
+type t
+
+val make : n:int -> eps:float -> k:int -> q:int -> t
+(** Build the tester for a universe of size [n], proximity [eps], [k]
+    players, [q] samples per player.
+
+    @raise Invalid_argument on non-positive [n], [k], negative [q], or
+    eps outside (0,1). *)
+
+val local_cutoff : t -> int
+(** The per-player alarm cutoff actually in force. *)
+
+val accepts : t -> Dut_prng.Rng.t -> Dut_protocol.Network.source -> bool
+(** Run one round: players draw samples, vote, the referee ANDs. *)
+
+val tester : n:int -> eps:float -> k:int -> q:int -> Evaluate.tester
+(** Package as an {!Evaluate.tester}. *)

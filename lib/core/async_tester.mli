@@ -1,0 +1,50 @@
+(** The asymmetric-cost (sampling-rate) model of Section 6.2.
+
+    Players run for a common time budget τ; player i samples at rate T_i
+    and so collects q_i = ⌈T_i·τ⌉ samples. Each votes with its own
+    midpoint collision cutoff; the referee uses a calibrated reject-count
+    cutoff, weighting nothing — exactly the reduction [7] used from the
+    LOCAL model. The paper shows the optimal time is
+    τ = Θ(√n/(ε²·‖T‖₂)): only the ℓ2 norm of the rate vector matters,
+    which the [T7-async] experiment confirms by giving differently-shaped
+    rate profiles the same ‖T‖₂. *)
+
+type t
+
+val make :
+  n:int ->
+  eps:float ->
+  rates:float array ->
+  tau:float ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  t
+(** @raise Invalid_argument on an empty/negative rate vector, τ ≤ 0, eps
+    outside (0,1), or non-positive trials. *)
+
+val sample_counts : t -> int array
+(** The per-player q_i = ⌈T_i·τ⌉ in force. *)
+
+val accepts : t -> Dut_prng.Rng.t -> Dut_protocol.Network.source -> bool
+
+val tester :
+  n:int ->
+  eps:float ->
+  rates:float array ->
+  tau:float ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  Evaluate.tester
+
+val critical_tau :
+  trials:int ->
+  level:float ->
+  rng:Dut_prng.Rng.t ->
+  ell:int ->
+  eps:float ->
+  rates:float array ->
+  calibration_trials:int ->
+  ?hi:int ->
+  unit ->
+  int option
+(** Least integer time budget τ at which the tester succeeds. *)

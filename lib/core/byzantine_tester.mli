@@ -1,0 +1,64 @@
+(** Distributed uniformity testing with Byzantine players.
+
+    Unlike crashes, Byzantine players are invisible: b of the k players
+    send arbitrary bits chosen by an adversary. With one-bit messages
+    the adversary's whole power is to shift the reject count by at most
+    b in its preferred direction, so the calibrated-count tester
+    tolerates b faults exactly when the honest signal — the gap between
+    the null and far reject-count distributions — exceeds 2b plus the
+    counting noise. The referee hardens by widening its acceptance band
+    by b on both sides (it must assume the b liars pushed either way),
+    which costs power but never safety. The T19-byzantine experiment
+    measures the degradation and locates the tolerated-fault threshold;
+    the tester also exposes its theoretical tolerance for comparison. *)
+
+type adversary =
+  | Push_accept  (** liars always vote accept: hides a far distribution *)
+  | Push_reject  (** liars always vote reject: frames a uniform one *)
+  | Smart
+      (** liars see the true world and push in the harmful direction
+          (accept under far, reject under uniform) — the worst case *)
+
+type t
+
+val make :
+  n:int ->
+  eps:float ->
+  k:int ->
+  q:int ->
+  byzantine:int ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  t
+(** A tester hardened against [byzantine] liars: referee cutoffs widened
+    by that many votes on both sides.
+
+    @raise Invalid_argument if [byzantine] outside [0, k/2), other
+    arguments as the plain testers. *)
+
+val accepts :
+  t -> adversary:adversary -> truth_is_far:bool -> Dut_prng.Rng.t ->
+  Dut_protocol.Network.source -> bool
+(** One round against the given adversary. [truth_is_far] is what the
+    {!Smart} adversary knows (the other adversaries ignore it). *)
+
+val tester :
+  n:int ->
+  eps:float ->
+  k:int ->
+  q:int ->
+  byzantine:int ->
+  adversary:adversary ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  far_flag:bool ->
+  Evaluate.tester
+(** Package one (adversary, world) configuration for measurement;
+    [far_flag] tells the {!Smart} adversary which world the evaluation
+    harness will feed it. *)
+
+val tolerated_faults : n:int -> eps:float -> k:int -> q:int -> float
+(** The scale of b the signal can absorb: k·(p_far − p_null)/2 with the
+    midpoint-cutoff vote probabilities approximated by the normal model
+    — exposed so the experiment can compare measured vs predicted
+    breakdown. *)

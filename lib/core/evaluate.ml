@@ -1,0 +1,31 @@
+type tester = {
+  name : string;
+  accepts : Dut_prng.Rng.t -> Dut_protocol.Network.source -> bool;
+}
+
+type power = {
+  uniform_accept : Dut_stats.Binomial_ci.t;
+  far_reject : Dut_stats.Binomial_ci.t;
+}
+
+let measure ~trials ~rng ~ell ~eps tester =
+  let n = 1 lsl (ell + 1) in
+  let uniform_accept =
+    Dut_stats.Montecarlo.estimate_prob ~trials rng (fun trial_rng ->
+        tester.accepts trial_rng (Dut_protocol.Network.uniform_source ~n))
+  in
+  let far_reject =
+    Dut_stats.Montecarlo.estimate_prob ~trials rng (fun trial_rng ->
+        let hard = Dut_dist.Paninski.random ~ell ~eps trial_rng in
+        not (tester.accepts trial_rng (Dut_protocol.Network.of_paninski hard)))
+  in
+  { uniform_accept; far_reject }
+
+let succeeds ~trials ~level ~rng ~ell ~eps tester =
+  let p = measure ~trials ~rng ~ell ~eps tester in
+  p.uniform_accept.estimate >= level && p.far_reject.estimate >= level
+
+let critical_q ~trials ~level ~rng ~ell ~eps ?(lo = 1) ?(hi = 1 lsl 20) make =
+  Dut_stats.Critical.search ~lo ~hi (fun q ->
+      let probe_rng = Dut_prng.Rng.split rng in
+      succeeds ~trials ~level ~rng:probe_rng ~ell ~eps (make q))

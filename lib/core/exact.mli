@@ -1,0 +1,136 @@
+(** Exhaustive, exact verification of the paper's Fourier machinery on
+    small universes.
+
+    The paper's Lemmas 4.1–4.3 and 5.1 are finite statements about an
+    arbitrary player function G : {-1,1}^((ℓ+1)q) → {0,1}: how far the
+    acceptance probability ν_z(G) can drift from μ(G). For ℓ ≤ 3 and
+    q ≤ 4 we can hold the entire truth table of G, enumerate the full
+    sample space of q-tuples, and enumerate {e all} 2^(2^ℓ) perturbation
+    vectors z — so both sides of every inequality are computed exactly
+    (up to float rounding) rather than estimated. Tuples of encoded
+    elements are indexed by bit-concatenation: element j occupies bits
+    [j(ℓ+1), (j+1)(ℓ+1)) of the index, which makes the tuple index of the
+    paper's cube point exactly the {!Dut_boolcube.Cube} encoding. *)
+
+type g
+(** A player function: ℓ, q, and the full 0/1 truth table over the n^q
+    sample tuples. *)
+
+val ell : g -> int
+val q : g -> int
+
+val domain_size : ell:int -> q:int -> int
+(** n^q = 2^((ℓ+1)·q).
+
+    @raise Invalid_argument when (ℓ+1)·q exceeds 24 bits. *)
+
+val of_predicate : ell:int -> q:int -> (int array -> bool) -> g
+(** [of_predicate ~ell ~q f] tabulates [f] over all tuples of encoded
+    elements ([f] receives the decoded tuple, length [q], entries in
+    [0, 2^(ℓ+1))). *)
+
+val collision_acceptor : ell:int -> q:int -> cutoff:int -> g
+(** The canonical "good" player: accept iff the tuple's collision count
+    is strictly below [cutoff] — the G that actual testers use, and the
+    one that extremizes the lemmas' ratios. *)
+
+val random_biased : ell:int -> q:int -> accept_prob:float -> Dut_prng.Rng.t -> g
+(** iid Bernoulli truth table; [accept_prob] near 1 gives the
+    highly-biased functions of Lemma 4.3's regime. *)
+
+val constant : ell:int -> q:int -> bool -> g
+
+val s_detector : ell:int -> q:int -> g
+(** The extremal single-coordinate player: accept iff the first sample's
+    side bit is +1. Its drift under ν_z is (ε/n)·Σ_x z(x) — mean zero but
+    second moment ε²/(2n), which {e exceeds} Lemma 4.2's literal
+    (20q²ε⁴/n + qε²/n)·var(G) right-hand side by a factor 2 at q = 1.
+    The inequality holds with the linear term's constant raised to 4
+    (see {!Dut_core.Bounds.lemma42_rhs_slack}); the paper's constants are
+    asymptotic and the slack is absorbed in the Ω(·) of Theorem 6.1.
+    Kept in the verification family precisely to document this. *)
+
+val mu : g -> float
+(** μ(G): acceptance probability under uniform samples. *)
+
+val variance : g -> float
+(** var(G) = μ(G)(1 − μ(G)) for a Boolean G. *)
+
+val nu : g -> Dut_dist.Paninski.t -> float
+(** ν_z(G): acceptance probability when the q samples are iid ν_z —
+    computed by exact summation over all n^q tuples.
+
+    @raise Invalid_argument if the family's ℓ does not match. *)
+
+val diff_fourier : g -> Dut_dist.Paninski.t -> float
+(** ν_z(G) − μ(G) computed through Lemma 4.1's character expansion:
+    (2^q/n^q)·Σ over non-empty S and left-tuples x of
+    ε^card(S)·Π_(j∈S) z(x_j)·(Fourier coefficient of G_x at S).
+    Must agree with [nu g d -. mu g] to float precision — the executable
+    form of Lemma 4.1. *)
+
+val iter_all_z : ell:int -> (int array -> unit) -> unit
+(** Enumerate all 2^(2^ℓ) perturbation vectors (ℓ ≤ 4). *)
+
+val collision_pmf_uniform : ell:int -> q:int -> float array
+(** The exact distribution of the collision statistic for q iid uniform
+    samples on n = 2^(ℓ+1) elements: entry c is P[collisions = c],
+    indexed 0 .. C(q,2). Computed by full tuple enumeration. *)
+
+val collision_pmf_far : ell:int -> q:int -> eps:float -> float array
+(** The same under ν_z^q, averaged over {e all} perturbations z — the
+    mixture the lower bounds play against. (For the collision statistic
+    the distribution is identical for every z by the family's symmetry,
+    but we average rather than assume it.) *)
+
+val message_divergence :
+  ell:int -> q:int -> eps:float -> levels:int -> (int array -> int) -> float
+(** [message_divergence ~ell ~q ~eps ~levels message] is the exact
+    E_z[D(message distribution under ν_z^q ‖ under μ^q)] in bits, for a
+    player that sends [message tuple] ∈ [0, levels): the per-player
+    information budget of Section 6 generalized to multi-valued
+    messages (Theorem 6.4's subject). Computed by full enumeration of
+    tuples and perturbations.
+
+    @raise Invalid_argument if a message lands outside [0, levels). *)
+
+val exact_test_power :
+  null:float array -> far:float array -> cutoff:int -> float * float
+(** [(accept-uniform, reject-far)] of the rule "accept iff statistic <
+    cutoff", from two statistic distributions. *)
+
+val best_cutoff_power : null:float array -> far:float array -> int * float
+(** The cutoff maximizing min(accept-uniform, reject-far), with the
+    achieved value — the exact optimal centralized collision tester. *)
+
+val mean_diff_over_z : g -> eps:float -> float
+(** E_z[ν_z(G)] − μ(G), exact over all z — Lemma 5.1's left-hand side. *)
+
+val mean_sq_diff_over_z : g -> eps:float -> float
+(** E_z[(ν_z(G) − μ(G))²], exact — Lemma 4.2's left-hand side. *)
+
+val lemma51_ratio : g -> eps:float -> float
+(** LHS/RHS of Lemma 5.1 (≤ 1 when the lemma's q-condition holds; 0/0 is
+    reported as 0 for constant G). *)
+
+val lemma42_ratio : g -> eps:float -> float
+(** LHS/RHS of Lemma 4.2 with the paper's literal constants. *)
+
+val lemma42_slack_ratio : g -> eps:float -> float
+(** LHS/RHS of Lemma 4.2 against {!Dut_core.Bounds.lemma42_rhs_slack}
+    (linear-term constant 4); ≤ 1 for every function we enumerate. *)
+
+val lemma43_ratio : g -> eps:float -> m:int -> float
+(** LHS/RHS of Lemma 4.3 at moment parameter [m]. *)
+
+val lemma44_ratio : g -> eps:float -> m:int -> c:float -> float
+(** LHS/RHS of Lemma 4.4 (the medium-variance interpolation) at moment
+    parameter [m] with explicit constant [c] — the paper only asserts
+    the existence of a suitable C, so the experiment reports the ratio
+    at C = 1 and the smallest C that would make each instance pass. *)
+
+val lemma44_min_constant : g -> eps:float -> m:int -> float
+(** The smallest C ≥ 0 such that Lemma 4.4's inequality holds for this
+    G (direct solve: the RHS is affine in C); 0 when even C = 0
+    suffices, [infinity] when the C-term's coefficient vanishes while
+    the inequality fails. *)

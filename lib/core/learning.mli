@@ -1,0 +1,47 @@
+(** Distributed learning of an unknown distribution (Theorem 1.4's
+    problem, after [1]).
+
+    k players each hold q samples and send a single bit; the referee must
+    output a pmf within ℓ1 distance δ of the unknown input. The protocol:
+    player i watches element i mod n and reports whether it saw it at
+    all; the referee inverts the per-element hit rate
+    f_e ≈ 1 − (1−p_e)^q into an estimate of p_e and normalizes. The
+    measured k needed for a given δ decreases with q; Theorem 1.4 says no
+    protocol beats k = Ω(n²/q²). *)
+
+type t
+
+val make : n:int -> k:int -> q:int -> t
+(** @raise Invalid_argument if [k < n] (every element needs a watcher)
+    or sizes are non-positive. *)
+
+val estimate : t -> Dut_prng.Rng.t -> Dut_protocol.Network.source -> Dut_dist.Pmf.t
+(** Run one round and return the referee's reconstructed pmf. *)
+
+val l1_error :
+  t -> Dut_prng.Rng.t -> truth:Dut_dist.Pmf.t -> float
+(** One round against a known truth; returns ‖estimate − truth‖₁. *)
+
+val mean_l1_error :
+  trials:int ->
+  rng:Dut_prng.Rng.t ->
+  n:int ->
+  k:int ->
+  q:int ->
+  truth:Dut_dist.Pmf.t ->
+  Dut_stats.Summary.t
+(** Error distribution over repeated rounds. *)
+
+val critical_k :
+  trials:int ->
+  rng:Dut_prng.Rng.t ->
+  ell:int ->
+  eps:float ->
+  q:int ->
+  delta:float ->
+  ?hi:int ->
+  unit ->
+  int option
+(** The least k (restricted to multiples of n for watcher balance) whose
+    mean ℓ1 error against random hard-family instances is below
+    [delta]. *)

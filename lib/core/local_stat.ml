@@ -1,0 +1,49 @@
+let collisions samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let q = Array.length a in
+  (* Sum C(run,2) over maximal runs of equal values. *)
+  let total = ref 0 in
+  let run = ref 1 in
+  for i = 1 to q - 1 do
+    if a.(i) = a.(i - 1) then incr run
+    else begin
+      total := !total + (!run * (!run - 1) / 2);
+      run := 1
+    end
+  done;
+  if q > 0 then total := !total + (!run * (!run - 1) / 2);
+  !total
+
+let pairs q = float_of_int q *. float_of_int (q - 1) /. 2.
+
+let null_mean ~n ~q = pairs q /. float_of_int n
+
+let far_mean ~n ~q ~eps = pairs q *. (1. +. (eps *. eps)) /. float_of_int n
+
+let midpoint_cutoff ~n ~q ~eps =
+  pairs q *. (1. +. (eps *. eps /. 2.)) /. float_of_int n
+
+let alarm_cutoff ~n ~q ~false_alarm =
+  let mean = null_mean ~n ~q in
+  if mean <= 50. then Dut_stats.Tail.count_cutoff ~mean ~p:false_alarm
+  else begin
+    (* Beyond the Poisson regime the collision count is right-skewed past
+       normal: its third central moment is ~ mean + 6 C(q,3)/n^2 (the
+       extra term from index-sharing pair triangles, which matters once
+       q > n). Cornish-Fisher upper quantile with that skew. *)
+    let qf = float_of_int q and nf = float_of_int n in
+    let sigma = sqrt (mean *. (1. -. (1. /. nf))) in
+    let triples = qf *. (qf -. 1.) *. (qf -. 2.) /. 6. in
+    let mu3 = mean +. (6. *. triples /. (nf *. nf)) in
+    let gamma = mu3 /. (sigma ** 3.) in
+    let z = Dut_stats.Tail.normal_isf false_alarm in
+    int_of_float
+      (ceil (mean +. (sigma *. (z +. (gamma *. ((z *. z) -. 1.) /. 6.))) +. 0.5))
+  end
+
+let vote_midpoint ~n ~q ~eps samples =
+  float_of_int (collisions samples) < midpoint_cutoff ~n ~q ~eps
+
+let vote_alarm ~n ~q ~false_alarm samples =
+  collisions samples < alarm_cutoff ~n ~q ~false_alarm

@@ -1,0 +1,39 @@
+(** The player-side local statistic shared by all distributed testers.
+
+    Every player in the [7]-style protocols summarizes its q samples by
+    the number of colliding pairs — the statistic the paper's Section 3
+    identifies as the only source of signal — and compares it to a
+    cutoff. Which cutoff depends on the decision rule: midpoint cutoffs
+    give a constant-advantage vote (for threshold/majority referees);
+    extreme tail cutoffs give rare-alarm votes (for the AND rule and
+    small thresholds, where a single false alarm kills the round). *)
+
+val collisions : int array -> int
+(** Number of unordered equal pairs among the samples, by sorting a
+    scratch copy: O(q log q), independent of the universe size. *)
+
+val null_mean : n:int -> q:int -> float
+(** E[collisions] for q uniform samples: C(q,2)/n. *)
+
+val far_mean : n:int -> q:int -> eps:float -> float
+(** E[collisions] for q samples from a distribution with collision
+    probability (1+ε²)/n — the minimum over ε-far distributions. *)
+
+val midpoint_cutoff : n:int -> q:int -> eps:float -> float
+(** The constant-advantage cutoff C(q,2)(1+ε²/2)/n. A player votes
+    accept iff its collision count is strictly below this. *)
+
+val alarm_cutoff : n:int -> q:int -> false_alarm:float -> int
+(** The rare-alarm cutoff: the smallest integer c such that
+    P[collisions ≥ c] ≤ [false_alarm] under the uniform null. Uses the
+    Poisson model in the sparse regime (mean ≤ 50) and a Cornish–Fisher
+    corrected normal beyond it — the count's third moment carries an
+    extra 6·C(q,3)/n² "triangle" term (index-sharing pairs) that plain
+    normal tails underestimate once q > n. *)
+
+val vote_midpoint : n:int -> q:int -> eps:float -> int array -> bool
+(** Accept vote using the midpoint cutoff. *)
+
+val vote_alarm : n:int -> q:int -> false_alarm:float -> int array -> bool
+(** Accept vote using the rare-alarm cutoff: [false] (alarm!) only when
+    the collision count reaches the tail cutoff. *)

@@ -1,0 +1,39 @@
+(** The r-bit message tester (Theorem 6.4's regime).
+
+    Each player standardizes its collision count against the null mean
+    and quantizes the z-score into 2^r buckets spanning [−2σ, +2σ]; the
+    referee sums the bucket indices and rejects when the sum exceeds a
+    cutoff calibrated on uniform runs. With r = 1 this degenerates to a
+    one-bit vote; larger r transmits a finer sketch of the local
+    statistic, buying sample complexity in line with the 2^r factor of
+    Theorem 6.4 until the statistic's full resolution is exhausted. *)
+
+type t
+
+val make :
+  n:int ->
+  eps:float ->
+  k:int ->
+  q:int ->
+  bits:int ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  t
+(** @raise Invalid_argument on bad sizes, [bits] outside [1, 16], eps
+    outside (0,1), or non-positive trials. *)
+
+val quantize : t -> int -> int
+(** The message (bucket index in [0, 2^bits)) a player sends for a given
+    collision count. Exposed for tests. *)
+
+val accepts : t -> Dut_prng.Rng.t -> Dut_protocol.Network.source -> bool
+
+val tester :
+  n:int ->
+  eps:float ->
+  k:int ->
+  q:int ->
+  bits:int ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  Evaluate.tester

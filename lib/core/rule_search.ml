@@ -1,0 +1,127 @@
+let vote_probs g ~eps =
+  let a0 = Exact.mu g in
+  let acc = ref [] in
+  Exact.iter_all_z ~ell:(Exact.ell g) (fun z ->
+      let d = Dut_dist.Paninski.create ~ell:(Exact.ell g) ~eps ~z in
+      acc := Exact.nu g d :: !acc);
+  (a0, Array.of_list (List.rev !acc))
+
+let check_inputs ~k ~a0 ~a_far =
+  if k <= 0 then invalid_arg "Rule_search: k must be positive";
+  if a0 < 0. || a0 > 1. then invalid_arg "Rule_search: a0 out of [0,1]";
+  if Array.length a_far = 0 then invalid_arg "Rule_search: empty far array";
+  Array.iter
+    (fun a -> if a < 0. || a > 1. then invalid_arg "Rule_search: a_far out of [0,1]")
+    a_far
+
+(* Layer weights: u_j = p^j (1-p)^(k-j) (per accepting input of layer j). *)
+let layer_weights ~k p =
+  Array.init (k + 1) (fun j ->
+      (p ** float_of_int j) *. ((1. -. p) ** float_of_int (k - j)))
+
+let far_layer_weights ~k a_far =
+  let kz = Array.length a_far in
+  let acc = Array.make (k + 1) 0. in
+  Array.iter
+    (fun a ->
+      let w = layer_weights ~k a in
+      Array.iteri (fun j x -> acc.(j) <- acc.(j) +. x) w)
+    a_far;
+  Array.map (fun x -> x /. float_of_int kz) acc
+
+(* max_t [lambda*A(t) + (1-lambda)*R(t)] over the box: per layer take the
+   whole layer iff its coefficient is positive. *)
+let envelope ~k ~u ~v lambda =
+  let total = ref (1. -. lambda) in
+  for j = 0 to k do
+    let coeff = (lambda *. u.(j)) -. ((1. -. lambda) *. v.(j)) in
+    if coeff > 0. then
+      total := !total +. (coeff *. Dut_boolcube.Cube.binomial k j)
+  done;
+  !total
+
+let best_rule_value ~k ~a0 ~a_far =
+  check_inputs ~k ~a0 ~a_far;
+  let u = layer_weights ~k a0 in
+  let v = far_layer_weights ~k a_far in
+  (* The envelope is convex in lambda; minimize by golden-section over
+     [0,1] refined from a coarse grid. *)
+  let f = envelope ~k ~u ~v in
+  let best = ref infinity in
+  let best_l = ref 0.5 in
+  for i = 0 to 200 do
+    let l = float_of_int i /. 200. in
+    let value = f l in
+    if value < !best then begin
+      best := value;
+      best_l := l
+    end
+  done;
+  let lo = Float.max 0. (!best_l -. 0.01) and hi = Float.min 1. (!best_l +. 0.01) in
+  let rec golden lo hi i =
+    if i = 0 then f ((lo +. hi) /. 2.)
+    else begin
+      let m1 = lo +. (0.382 *. (hi -. lo)) in
+      let m2 = lo +. (0.618 *. (hi -. lo)) in
+      if f m1 < f m2 then golden lo m2 (i - 1) else golden m1 hi (i - 1)
+    end
+  in
+  Float.min !best (golden lo hi 60)
+
+let best_rule_value_integer ~k ~a0 ~a_far =
+  check_inputs ~k ~a0 ~a_far;
+  if k > 6 then invalid_arg "Rule_search.best_rule_value_integer: k > 6";
+  let u = layer_weights ~k a0 in
+  let v = far_layer_weights ~k a_far in
+  (* Enumerate integer layer profiles t_j in [0, C(k,j)]. *)
+  let caps = Array.init (k + 1) (fun j -> int_of_float (Dut_boolcube.Cube.binomial k j)) in
+  let best = ref 0. in
+  let rec go j a r =
+    if j > k then begin
+      let value = Float.min a (1. -. r) in
+      if value > !best then best := value
+    end
+    else
+      for t = 0 to caps.(j) do
+        go (j + 1) (a +. (float_of_int t *. u.(j))) (r +. (float_of_int t *. v.(j)))
+      done
+  in
+  go 0 0. 0.;
+  !best
+
+let and_rule_value ~k ~a0 ~a_far =
+  check_inputs ~k ~a0 ~a_far;
+  let kf = float_of_int k in
+  let accept = a0 ** kf in
+  let far_accept =
+    Array.fold_left (fun acc a -> acc +. (a ** kf)) 0. a_far
+    /. float_of_int (Array.length a_far)
+  in
+  Float.min accept (1. -. far_accept)
+
+let strategy_family ~ell ~q =
+  let max_cutoff = (q * (q - 1) / 2) + 1 in
+  List.concat
+    [
+      List.init max_cutoff (fun c ->
+          ( Printf.sprintf "collisions<%d" (c + 1),
+            Exact.collision_acceptor ~ell ~q ~cutoff:(c + 1) ));
+      [ ("s-detector", Exact.s_detector ~ell ~q) ];
+    ]
+
+let best_over_strategies ~ell ~q ~eps ~k =
+  List.fold_left
+    (fun (best, best_name) (name, g) ->
+      let a0, a_far = vote_probs g ~eps in
+      let value = best_rule_value ~k ~a0 ~a_far in
+      if value > best then (value, name) else (best, best_name))
+    (0., "-")
+    (strategy_family ~ell ~q)
+
+let best_and_over_strategies ~ell ~q ~eps ~k =
+  List.fold_left
+    (fun best (_, g) ->
+      let a0, a_far = vote_probs g ~eps in
+      Float.max best (and_rule_value ~k ~a0 ~a_far))
+    0.
+    (strategy_family ~ell ~q)

@@ -1,0 +1,98 @@
+type t = { n : int; eps : float; k : int; buckets : int; groups : int }
+
+let make ~n ~eps ~k ~bits =
+  if n <= 0 || k <= 0 then invalid_arg "Single_sample.make: bad sizes";
+  if bits < 1 || bits > 24 then invalid_arg "Single_sample.make: bits outside [1,24]";
+  if 1 lsl bits > n then invalid_arg "Single_sample.make: more buckets than elements";
+  if eps <= 0. || eps >= 1. then invalid_arg "Single_sample.make: eps out of (0,1)";
+  (* With few buckets a single partition's signal is a low-dof chi-square
+     and can land near zero; averaging over independent partitions across
+     a constant number of player groups concentrates it. The group count
+     must not depend on the bucket count, or it would distort the
+     2^(l/2) scaling the experiment measures. *)
+  let buckets = 1 lsl bits in
+  let groups = max 1 (min (k / 2) 8) in
+  { n; eps; k; buckets; groups }
+
+let group_sizes t =
+  Array.init t.groups (fun g ->
+      let base = t.k / t.groups in
+      if g < t.k mod t.groups then base + 1 else base)
+
+let total_pairs t =
+  Array.fold_left
+    (fun acc kg -> acc +. (float_of_int kg *. float_of_int (kg - 1) /. 2.))
+    0. (group_sizes t)
+
+let expected_uniform t = total_pairs t /. float_of_int t.buckets
+
+(* Under a balanced random partition into B buckets, a matched +-eps/n
+   pair cancels whenever both halves land in the same bucket (probability
+   ~ 1/B), so the expected squared l2 mass of the bucketed deviation is
+   eps^2/n * (1 - 1/B), and the expected far-side collision count is
+   (within-group pairs) * (1/B + eps^2/n * (1 - 1/B)). *)
+let expected_far t =
+  let b = float_of_int t.buckets in
+  total_pairs t
+  *. ((1. /. b) +. (t.eps *. t.eps /. float_of_int t.n *. (1. -. (1. /. b))))
+
+let cutoff t = (expected_uniform t +. expected_far t) /. 2.
+
+let accepts t rng source =
+  (* Public coins: one balanced random partition of [n] into equal
+     buckets per player group (n and buckets are powers of two, so the
+     blocks divide evenly). Balance makes the null bucket distribution
+     exactly uniform; independent partitions across groups concentrate
+     the far-side signal. *)
+  let block = t.n / t.buckets in
+  let bucket_of =
+    Array.init t.groups (fun _ ->
+        let perm = Array.init t.n (fun i -> i) in
+        Dut_prng.Rng.shuffle_in_place rng perm;
+        let assignment = Array.make t.n 0 in
+        Array.iteri (fun pos elt -> assignment.(elt) <- pos / block) perm;
+        assignment)
+  in
+  let sizes = group_sizes t in
+  let group_of_player =
+    (* Players 0..k-1 assigned to groups in contiguous runs. *)
+    let assignment = Array.make t.k 0 in
+    let idx = ref 0 in
+    Array.iteri
+      (fun g kg ->
+        for _ = 1 to kg do
+          assignment.(!idx) <- g;
+          incr idx
+        done)
+      sizes;
+    assignment
+  in
+  let messenger ~index _coins samples =
+    let g = group_of_player.(index) in
+    (g, bucket_of.(g).(samples.(0)))
+  in
+  Dut_protocol.Network.round_messages ~rng ~source ~k:t.k ~q:1 ~messenger
+    ~referee:(fun messages ->
+      let counts = Array.make_matrix t.groups t.buckets 0 in
+      Array.iter
+        (fun (g, b) -> counts.(g).(b) <- counts.(g).(b) + 1)
+        messages;
+      let colliding = ref 0 in
+      Array.iter
+        (Array.iter (fun c -> colliding := !colliding + (c * (c - 1) / 2)))
+        counts;
+      float_of_int !colliding < cutoff t)
+
+let tester ~n ~eps ~k ~bits =
+  let t = make ~n ~eps ~k ~bits in
+  {
+    Evaluate.name = Printf.sprintf "single-sample-%dbit(n=%d,k=%d)" bits n k;
+    accepts = accepts t;
+  }
+
+let critical_k ~trials ~level ~rng ~ell ~eps ~bits ?(hi = 1 lsl 22) () =
+  let n = 1 lsl (ell + 1) in
+  Dut_stats.Critical.search ~lo:2 ~hi (fun k ->
+      let probe_rng = Dut_prng.Rng.split rng in
+      Evaluate.succeeds ~trials ~level ~rng:probe_rng ~ell ~eps
+        (tester ~n ~eps ~k ~bits))

@@ -1,0 +1,74 @@
+type style =
+  | Majority of { referee_cutoff : int }
+  | Fixed of { t : int; local_cutoff : int }
+
+type t = { n : int; eps : float; k : int; q : int; style : style }
+
+let check ~n ~eps ~k ~q =
+  if n <= 0 || k <= 0 || q < 0 then invalid_arg "Threshold_tester: bad sizes";
+  if eps <= 0. || eps >= 1. then invalid_arg "Threshold_tester: eps out of (0,1)"
+
+let reject_count_midpoint ~n ~eps ~q rng k =
+  (* One uniform round's reject count with midpoint-cutoff players. *)
+  let source = Dut_protocol.Network.uniform_source ~n in
+  let player ~index:_ _coins samples = Local_stat.vote_midpoint ~n ~q ~eps samples in
+  let round =
+    Dut_protocol.Network.round ~rng ~source ~k ~q ~player
+      ~rule:Dut_protocol.Rule.Majority
+  in
+  Array.fold_left (fun acc v -> if v then acc else acc + 1) 0 round.votes
+
+let make_majority ~n ~eps ~k ~q ~calibration_trials ~rng =
+  check ~n ~eps ~k ~q;
+  if calibration_trials <= 0 then
+    invalid_arg "Threshold_tester.make_majority: trials <= 0";
+  let calibration_rng = Dut_prng.Rng.split rng in
+  let cutoff =
+    Dut_protocol.Calibrate.reject_count_cutoff ~trials:calibration_trials
+      calibration_rng
+      ~rejects:(fun r -> reject_count_midpoint ~n ~eps ~q r k)
+      ~level:0.2
+  in
+  { n; eps; k; q; style = Majority { referee_cutoff = cutoff } }
+
+let make_fixed ~n ~eps ~k ~q ~t =
+  check ~n ~eps ~k ~q;
+  if t < 1 || t > k then invalid_arg "Threshold_tester.make_fixed: t outside [1,k]";
+  (* The most detection-friendly per-player alarm rate that still keeps
+     the referee's null rejection probability (>= t alarms) comfortably
+     under 1/3 (0.18, leaving Monte-Carlo and tail-model margin). *)
+  let false_alarm = Dut_stats.Tail.binomial_max_p ~k ~t ~level:0.18 in
+  let local_cutoff = Local_stat.alarm_cutoff ~n ~q ~false_alarm in
+  { n; eps; k; q; style = Fixed { t; local_cutoff } }
+
+let referee_cutoff t =
+  match t.style with
+  | Majority { referee_cutoff } -> referee_cutoff
+  | Fixed { t; _ } -> t
+
+let accepts t rng source =
+  let player =
+    match t.style with
+    | Majority _ ->
+        fun ~index:_ _coins samples ->
+          Local_stat.vote_midpoint ~n:t.n ~q:t.q ~eps:t.eps samples
+    | Fixed { local_cutoff; _ } ->
+        fun ~index:_ _coins samples -> Local_stat.collisions samples < local_cutoff
+  in
+  let rule = Dut_protocol.Rule.Reject_threshold (referee_cutoff t) in
+  let round = Dut_protocol.Network.round ~rng ~source ~k:t.k ~q:t.q ~player ~rule in
+  round.accept
+
+let tester_majority ~n ~eps ~k ~q ~calibration_trials ~rng =
+  let t = make_majority ~n ~eps ~k ~q ~calibration_trials ~rng in
+  {
+    Evaluate.name = Printf.sprintf "majority(n=%d,k=%d,q=%d)" n k q;
+    accepts = accepts t;
+  }
+
+let tester_fixed ~n ~eps ~k ~q ~t:thr =
+  let t = make_fixed ~n ~eps ~k ~q ~t:thr in
+  {
+    Evaluate.name = Printf.sprintf "threshold-T=%d(n=%d,k=%d,q=%d)" thr n k q;
+    accepts = accepts t;
+  }

@@ -1,0 +1,56 @@
+(** Threshold-rule distributed uniformity testers, in the two regimes the
+    paper contrasts.
+
+    {b Calibrated majority} — the sample-optimal tester of [7] matching
+    Theorem 1.1: every player votes with the constant-advantage midpoint
+    cutoff, so each vote is a slightly-biased coin whose bias flips
+    between the uniform and the far case; the referee counts reject votes
+    and compares the count against a cutoff calibrated on simulated
+    uniform runs. Each player only needs q = O(√(n/k)/ε²) samples because
+    k weak votes aggregate.
+
+    {b Fixed reject-threshold T} — the referee is constrained to reject
+    iff at least T players reject (Theorem 1.3's rule). Players must then
+    keep their individual false-alarm rate near T/k, pushing their
+    cutoffs into the tail and costing samples as T shrinks; T = 1 is
+    exactly the AND rule. *)
+
+type t
+
+val make_majority :
+  n:int ->
+  eps:float ->
+  k:int ->
+  q:int ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  t
+(** Build the calibrated-majority tester. Calibration simulates
+    [calibration_trials] uniform rounds on a stream split from [rng] and
+    sets the referee cutoff at empirical false-alarm level 0.2.
+
+    @raise Invalid_argument on bad sizes, eps, or trials. *)
+
+val make_fixed : n:int -> eps:float -> k:int -> q:int -> t:int -> t
+(** Build the fixed-threshold tester: referee rejects iff ≥ [t] players
+    reject; players use rare-alarm cutoffs at level t/(5k).
+
+    @raise Invalid_argument if [t] outside [1, k]. *)
+
+val referee_cutoff : t -> int
+(** The reject-count the referee is using (calibrated or fixed). *)
+
+val accepts : t -> Dut_prng.Rng.t -> Dut_protocol.Network.source -> bool
+(** Run one round. *)
+
+val tester_majority :
+  n:int ->
+  eps:float ->
+  k:int ->
+  q:int ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  Evaluate.tester
+
+val tester_fixed :
+  n:int -> eps:float -> k:int -> q:int -> t:int -> Evaluate.tester

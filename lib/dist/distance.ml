@@ -1,0 +1,56 @@
+let check_sizes name p q =
+  if Pmf.size p <> Pmf.size q then
+    invalid_arg (Printf.sprintf "Distance.%s: universe size mismatch" name)
+
+let fold2 name f init p q =
+  check_sizes name p q;
+  let acc = ref init in
+  for i = 0 to Pmf.size p - 1 do
+    acc := f !acc (Pmf.prob p i) (Pmf.prob q i)
+  done;
+  !acc
+
+let l1 p q = fold2 "l1" (fun acc a b -> acc +. Float.abs (a -. b)) 0. p q
+
+let tv p q = l1 p q /. 2.
+
+let l2_sq p q =
+  fold2 "l2_sq" (fun acc a b -> acc +. ((a -. b) *. (a -. b))) 0. p q
+
+let log2 x = log x /. log 2.
+
+let kl p q =
+  fold2 "kl"
+    (fun acc a b ->
+      if a = 0. then acc
+      else if b = 0. then infinity
+      else acc +. (a *. log2 (a /. b)))
+    0. p q
+
+let chi2 p q =
+  fold2 "chi2"
+    (fun acc a b ->
+      if b = 0. then if a = 0. then acc else infinity
+      else acc +. ((a -. b) *. (a -. b) /. b))
+    0. p q
+
+let hellinger p q =
+  let s =
+    fold2 "hellinger"
+      (fun acc a b ->
+        let d = sqrt a -. sqrt b in
+        acc +. (d *. d))
+      0. p q
+  in
+  sqrt (s /. 2.)
+
+let kl_bernoulli a b =
+  let term x y = if x = 0. then 0. else if y = 0. then infinity else x *. log2 (x /. y) in
+  term a b +. term (1. -. a) (1. -. b)
+
+let chi2_bernoulli_bound a b =
+  let var_b = b *. (1. -. b) in
+  if var_b = 0. then infinity
+  else (a -. b) *. (a -. b) /. (var_b *. log 2.)
+
+let distance_to_uniformity p = l1 p (Pmf.uniform (Pmf.size p))

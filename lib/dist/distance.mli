@@ -1,0 +1,39 @@
+(** Distances and divergences between distributions on the same universe.
+
+    All the measures the paper's Section 6 juggles: ℓ1 (the proximity
+    measure of the testing problem), total variation, KL divergence
+    (additive across independent players, Fact 6.2), χ²-divergence (the
+    upper bound of Fact 6.3), and Hellinger. Every function raises
+    [Invalid_argument] on a universe-size mismatch. *)
+
+val l1 : Pmf.t -> Pmf.t -> float
+(** ‖p − q‖₁ = Σ_i |p(i) − q(i)|. The paper's farness measure: a tester
+    must reject every μ with ‖μ − U_n‖₁ ≥ ε. Twice the total variation. *)
+
+val tv : Pmf.t -> Pmf.t -> float
+(** Total variation distance = ‖p − q‖₁ / 2 ∈ [0,1]. *)
+
+val l2_sq : Pmf.t -> Pmf.t -> float
+(** Squared ℓ2 distance Σ_i (p(i) − q(i))². *)
+
+val kl : Pmf.t -> Pmf.t -> float
+(** D(p ‖ q) in bits (base-2 logarithm, matching Section 6). [infinity]
+    when p puts mass where q has none; 0·log(0/·) = 0. *)
+
+val chi2 : Pmf.t -> Pmf.t -> float
+(** χ²(p ‖ q) = Σ_i (p(i) − q(i))²/q(i), over the support of q.
+    [infinity] when p puts mass outside q's support. *)
+
+val hellinger : Pmf.t -> Pmf.t -> float
+(** Hellinger distance H(p,q) = (1/√2)·‖√p − √q‖₂ ∈ [0,1]. *)
+
+val kl_bernoulli : float -> float -> float
+(** [kl_bernoulli a b] = D(B(a) ‖ B(b)) in bits; the quantity bounded in
+    (11)–(12) of the paper. *)
+
+val chi2_bernoulli_bound : float -> float -> float
+(** Fact 6.3's right-hand side: (a − b)² / (var(B(b))·ln 2) — an upper
+    bound on [kl_bernoulli a b] for a, b ∈ (0,1). *)
+
+val distance_to_uniformity : Pmf.t -> float
+(** ‖μ − U_n‖₁ for the universe of μ. *)

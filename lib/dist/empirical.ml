@@ -1,0 +1,39 @@
+type t = { counts : int array; mutable total : int }
+
+let create n =
+  if n <= 0 then invalid_arg "Empirical.create: n must be positive";
+  { counts = Array.make n 0; total = 0 }
+
+let add t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Empirical.add: sample out of range";
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let add_all t samples = Array.iter (add t) samples
+
+let count t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Empirical.count: index out of range";
+  t.counts.(i)
+
+let total t = t.total
+
+let to_pmf t =
+  if t.total = 0 then invalid_arg "Empirical.to_pmf: no samples";
+  let denom = float_of_int t.total in
+  Pmf.create (Array.map (fun c -> float_of_int c /. denom) t.counts)
+
+let of_samples ~n samples =
+  let t = create n in
+  add_all t samples;
+  t
+
+let distinct t =
+  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
+
+let singletons t =
+  Array.fold_left (fun acc c -> if c = 1 then acc + 1 else acc) 0 t.counts
+
+let collision_pairs t =
+  Array.fold_left (fun acc c -> acc + (c * (c - 1) / 2)) 0 t.counts

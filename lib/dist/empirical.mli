@@ -1,0 +1,47 @@
+(** Empirical distributions: histograms accumulated from samples.
+
+    Used by the plug-in ℓ1 tester, the χ² tester and the distributed
+    learning experiment (Theorem 1.4), where the referee's output {e is}
+    an empirical distribution and its quality is its ℓ1 distance from the
+    truth. *)
+
+type t
+(** A mutable histogram over a fixed universe. *)
+
+val create : int -> t
+(** [create n] is an empty histogram over {0,…,n−1}.
+
+    @raise Invalid_argument if [n <= 0]. *)
+
+val add : t -> int -> unit
+(** Record one sample.
+
+    @raise Invalid_argument if the sample is out of range. *)
+
+val add_all : t -> int array -> unit
+(** Record many samples. *)
+
+val count : t -> int -> int
+(** Occurrences of one element. *)
+
+val total : t -> int
+(** Number of samples recorded so far. *)
+
+val to_pmf : t -> Pmf.t
+(** The empirical pmf (counts / total).
+
+    @raise Invalid_argument if no samples were recorded. *)
+
+val of_samples : n:int -> int array -> t
+(** Histogram of a sample array in one call. *)
+
+val distinct : t -> int
+(** Number of elements seen at least once (the Paninski statistic's raw
+    material). *)
+
+val singletons : t -> int
+(** Number of elements seen exactly once. *)
+
+val collision_pairs : t -> int
+(** Σ_i C(count_i, 2): the number of colliding unordered pairs, the
+    centralized collision tester's statistic. *)

@@ -1,0 +1,50 @@
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Families.zipf: n must be positive";
+  if s < 0. then invalid_arg "Families.zipf: s must be non-negative";
+  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Pmf.create (Array.map (fun x -> x /. total) w)
+
+let step ~n ~heavy_fraction ~heavy_mass =
+  if heavy_fraction <= 0. || heavy_fraction >= 1. then
+    invalid_arg "Families.step: heavy_fraction out of (0,1)";
+  if heavy_mass <= 0. || heavy_mass >= 1. then
+    invalid_arg "Families.step: heavy_mass out of (0,1)";
+  let heavy = max 1 (int_of_float (ceil (heavy_fraction *. float_of_int n))) in
+  let heavy = min heavy (n - 1) in
+  let w =
+    Array.init n (fun i ->
+        if i < heavy then heavy_mass /. float_of_int heavy
+        else (1. -. heavy_mass) /. float_of_int (n - heavy))
+  in
+  Pmf.create w
+
+let truncated_geometric ~n ~ratio =
+  if ratio <= 0. || ratio >= 1. then
+    invalid_arg "Families.truncated_geometric: ratio out of (0,1)";
+  let w = Array.init n (fun i -> ratio ** float_of_int i) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Pmf.create (Array.map (fun x -> x /. total) w)
+
+let perturb_pairwise rng ~eps p =
+  let n = Pmf.size p in
+  if n < 2 then invalid_arg "Families.perturb_pairwise: need >= 2 elements";
+  if eps < 0. || eps >= 1. then
+    invalid_arg "Families.perturb_pairwise: eps out of [0,1)";
+  let w = Pmf.to_array p in
+  (* Random perfect matching on indices (drop one element when n is
+     odd), then transfer +-eps/n within each pair, clamped. *)
+  let order = Array.init n Fun.id in
+  Dut_prng.Rng.shuffle_in_place rng order;
+  let delta = eps /. float_of_int n in
+  let moved = ref 0. in
+  let pairs = n / 2 in
+  for j = 0 to pairs - 1 do
+    let a = order.(2 * j) and b = order.((2 * j) + 1) in
+    let src, dst = if Dut_prng.Rng.bool rng then (a, b) else (b, a) in
+    let transfer = Float.min delta w.(src) in
+    w.(src) <- w.(src) -. transfer;
+    w.(dst) <- w.(dst) +. transfer;
+    moved := !moved +. transfer
+  done;
+  (Pmf.create w, 2. *. !moved)

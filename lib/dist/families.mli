@@ -1,0 +1,28 @@
+(** Named distribution families for workloads and identity-testing
+    targets. *)
+
+val zipf : n:int -> s:float -> Pmf.t
+(** Zipf/zeta law: mass of element i proportional to 1/(i+1)^s. The
+    classic skewed-workload model.
+
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val step : n:int -> heavy_fraction:float -> heavy_mass:float -> Pmf.t
+(** Two-level distribution: the first ⌈heavy_fraction·n⌉ elements share
+    [heavy_mass] of the probability; the rest share the remainder.
+
+    @raise Invalid_argument if the fractions are outside (0,1). *)
+
+val truncated_geometric : n:int -> ratio:float -> Pmf.t
+(** Mass of element i proportional to ratio^i, 0 < ratio < 1. *)
+
+val perturb_pairwise : Dut_prng.Rng.t -> eps:float -> Pmf.t -> Pmf.t * float
+(** [perturb_pairwise rng ~eps p] produces a distribution at ℓ1 distance
+    {e approximately} [eps] from [p] by moving ±eps/n between random
+    matched pairs of elements (Paninski-style, generalized to a
+    non-uniform base), clamping transfers so masses stay non-negative.
+    Returns the perturbed pmf and its {e achieved} ℓ1 distance from [p]
+    (≤ eps; equal when no clamping was needed).
+
+    @raise Invalid_argument if eps outside [0,1) or the universe has
+    fewer than 2 elements. *)

@@ -1,0 +1,74 @@
+type t = { ell : int; eps : float; z : int array }
+
+let create ~ell ~eps ~z =
+  if ell < 0 || ell > 20 then invalid_arg "Paninski.create: ell out of [0,20]";
+  if eps < 0. || eps >= 1. then invalid_arg "Paninski.create: eps out of [0,1)";
+  if Array.length z <> 1 lsl ell then
+    invalid_arg "Paninski.create: z must have length 2^ell";
+  Array.iter
+    (fun v -> if v <> 1 && v <> -1 then invalid_arg "Paninski.create: z entries must be +-1")
+    z;
+  { ell; eps; z = Array.copy z }
+
+let random ~ell ~eps rng =
+  create ~ell ~eps ~z:(Dut_prng.Rng.rademacher_vector rng (1 lsl ell))
+
+let all_plus ~ell ~eps = create ~ell ~eps ~z:(Array.make (1 lsl ell) 1)
+
+let ell t = t.ell
+let eps t = t.eps
+let n t = 1 lsl (t.ell + 1)
+let m t = 1 lsl t.ell
+let z t = Array.copy t.z
+
+let encode ~x ~s = (2 * x) + if s = 1 then 0 else 1
+
+let decode i = (i / 2, if i land 1 = 0 then 1 else -1)
+
+let prob t i =
+  let x, s = decode i in
+  (1. +. (float_of_int s *. float_of_int t.z.(x) *. t.eps)) /. float_of_int (n t)
+
+let pmf t = Pmf.create_exn_strict (Array.init (n t) (prob t))
+
+let draw t rng =
+  let x = Dut_prng.Rng.int rng (m t) in
+  let p_plus = (1. +. (float_of_int t.z.(x) *. t.eps)) /. 2. in
+  let s = if Dut_prng.Rng.bernoulli rng p_plus then 1 else -1 in
+  encode ~x ~s
+
+let draw_many t rng q = Array.init q (fun _ -> draw t rng)
+
+let tuple_prob t tuple =
+  Array.fold_left (fun acc i -> acc *. prob t i) 1. tuple
+
+let tuple_prob_fourier t tuple =
+  let q = Array.length tuple in
+  let xs = Array.map (fun i -> fst (decode i)) tuple in
+  let ss = Array.map (fun i -> snd (decode i)) tuple in
+  (* Sum over all subsets S of positions: eps^|S| * prod_{j in S} s_j z(x_j). *)
+  let acc = ref 0. in
+  for s_mask = 0 to (1 lsl q) - 1 do
+    let term = ref 1. in
+    for j = 0 to q - 1 do
+      if (s_mask lsr j) land 1 = 1 then
+        term := !term *. t.eps *. float_of_int ss.(j) *. float_of_int t.z.(xs.(j))
+    done;
+    acc := !acc +. !term
+  done;
+  !acc /. (float_of_int (n t) ** float_of_int q)
+
+let mixture_exact ~ell ~eps =
+  let m_size = 1 lsl ell in
+  if m_size > 16 then invalid_arg "Paninski.mixture_exact: ell too large to enumerate";
+  let n_size = 1 lsl (ell + 1) in
+  let acc = Array.make n_size 0. in
+  let num_z = 1 lsl m_size in
+  for z_mask = 0 to num_z - 1 do
+    let z = Array.init m_size (fun x -> if (z_mask lsr x) land 1 = 1 then -1 else 1) in
+    let d = create ~ell ~eps ~z in
+    for i = 0 to n_size - 1 do
+      acc.(i) <- acc.(i) +. prob d i
+    done
+  done;
+  Pmf.create (Array.map (fun w -> w /. float_of_int num_z) acc)

@@ -1,0 +1,75 @@
+(** The hard distribution family of Section 3 (after Paninski 2008).
+
+    The universe has n = 2^(ℓ+1) elements, viewed as pairs (x, s) with
+    x ∈ {0,…,2^ℓ−1} (a vertex of the left cube) and s ∈ {+1,−1} (which of
+    the two matched copies). Given a perturbation vector
+    z : {0,…,2^ℓ−1} → {−1,+1} and proximity parameter ε, the distribution
+    ν_z assigns
+
+      ν_z(x, s) = (1 + s·z(x)·ε) / n.
+
+    Every ν_z is exactly ε-far from uniform in ℓ1, and the mixture over a
+    uniformly random z is exactly the uniform distribution — the property
+    that makes the family hard. Elements are encoded as integers
+    [2·x + (if s = +1 then 0 else 1)]. *)
+
+type t
+(** One member ν_z of the family (ℓ, ε and z fixed). *)
+
+val create : ell:int -> eps:float -> z:int array -> t
+(** [create ~ell ~eps ~z] builds ν_z.
+
+    @raise Invalid_argument if [ell < 0] or [ell > 20], if [eps] ∉ [0,1),
+    if [z] does not have length 2^ell, or has entries other than ±1. *)
+
+val random : ell:int -> eps:float -> Dut_prng.Rng.t -> t
+(** ν_z for a uniformly random perturbation z — the adversary of all the
+    lower bounds. *)
+
+val all_plus : ell:int -> eps:float -> t
+(** The fixed member with z ≡ +1; a convenient deterministic ε-far
+    distribution. *)
+
+val ell : t -> int
+val eps : t -> float
+
+val n : t -> int
+(** Universe size n = 2^(ℓ+1). *)
+
+val m : t -> int
+(** Left-cube size m = 2^ℓ = n/2. *)
+
+val z : t -> int array
+(** A copy of the perturbation vector. *)
+
+val encode : x:int -> s:int -> int
+(** Element encoding: [2x] for s = +1, [2x+1] for s = −1. *)
+
+val decode : int -> int * int
+(** Inverse of {!encode}: [decode i = (x, s)]. *)
+
+val prob : t -> int -> float
+(** ν_z(element). *)
+
+val pmf : t -> Pmf.t
+(** The full mass table (exact; sums to 1 by construction). *)
+
+val draw : t -> Dut_prng.Rng.t -> int
+(** One sample in O(1): x uniform on the left cube, then s = +1 with
+    probability (1 + z(x)·ε)/2. *)
+
+val draw_many : t -> Dut_prng.Rng.t -> int -> int array
+(** [q] iid samples. *)
+
+val tuple_prob : t -> int array -> float
+(** ν_z^q of a tuple of encoded elements: the product law of Section 3. *)
+
+val tuple_prob_fourier : t -> int array -> float
+(** The same probability computed through the character expansion of
+    Claim 3.1 — Σ_S ε^{mass(S)} χ_S(s) Π_{j∈S} z(x_j) / n^q. Exponential in
+    the tuple length; used to verify the claim numerically. *)
+
+val mixture_exact : ell:int -> eps:float -> Pmf.t
+(** The exact mixture E_z[ν_z] computed by enumerating all 2^(2^ℓ)
+    perturbations (feasible for ℓ ≤ 4). Equals the uniform distribution;
+    exported so tests can confirm it. *)

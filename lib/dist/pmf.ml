@@ -1,0 +1,64 @@
+type t = float array
+
+let sum = Array.fold_left ( +. ) 0.
+
+let validate weights =
+  if Array.length weights = 0 then invalid_arg "Pmf: empty universe";
+  Array.iter
+    (fun w -> if w < 0. || Float.is_nan w then invalid_arg "Pmf: negative or NaN mass")
+    weights
+
+let create weights =
+  validate weights;
+  let s = sum weights in
+  if s <= 0. then invalid_arg "Pmf.create: weights sum to zero";
+  if Float.abs (s -. 1.) > 1e-6 then
+    invalid_arg "Pmf.create: weights must sum to 1 (+-1e-6)";
+  Array.map (fun w -> w /. s) weights
+
+let create_exn_strict weights =
+  validate weights;
+  let s = sum weights in
+  if Float.abs (s -. 1.) > 1e-9 then
+    invalid_arg "Pmf.create_exn_strict: weights must sum to 1 (+-1e-9)";
+  Array.copy weights
+
+let uniform n =
+  if n <= 0 then invalid_arg "Pmf.uniform: n must be positive";
+  Array.make n (1. /. float_of_int n)
+
+let point_mass ~n i =
+  if n <= 0 || i < 0 || i >= n then invalid_arg "Pmf.point_mass";
+  Array.init n (fun j -> if j = i then 1. else 0.)
+
+let size = Array.length
+
+let prob t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Pmf.prob: index out of range";
+  t.(i)
+
+let to_array = Array.copy
+
+let mix a p q =
+  if Array.length p <> Array.length q then invalid_arg "Pmf.mix: size mismatch";
+  if a < 0. || a > 1. then invalid_arg "Pmf.mix: coefficient out of [0,1]";
+  Array.init (Array.length p) (fun i -> (a *. p.(i)) +. ((1. -. a) *. q.(i)))
+
+let collision_prob t = Array.fold_left (fun acc w -> acc +. (w *. w)) 0. t
+
+let product p q =
+  let n2 = Array.length q in
+  Array.init
+    (Array.length p * n2)
+    (fun i -> p.(i / n2) *. q.(i mod n2))
+
+let map_support t f ~n =
+  if n <= 0 then invalid_arg "Pmf.map_support: n must be positive";
+  let out = Array.make n 0. in
+  Array.iteri
+    (fun i w ->
+      let j = f i in
+      if j < 0 || j >= n then invalid_arg "Pmf.map_support: image out of range";
+      out.(j) <- out.(j) +. w)
+    t;
+  out

@@ -1,0 +1,44 @@
+type t = {
+  pmf : Pmf.t;
+  (* Vose's alias method: cell i holds a coin with probability prob.(i) of
+     returning i, otherwise alias.(i). *)
+  prob : float array;
+  alias : int array;
+}
+
+let of_pmf pmf =
+  let n = Pmf.size pmf in
+  let scaled = Array.init n (fun i -> Pmf.prob pmf i *. float_of_int n) in
+  let prob = Array.make n 1. in
+  let alias = Array.init n (fun i -> i) in
+  (* Work lists of under- and over-full cells. *)
+  let small = ref [] and large = ref [] in
+  Array.iteri
+    (fun i w -> if w < 1. then small := i :: !small else large := i :: !large)
+    scaled;
+  let rec pair () =
+    match (!small, !large) with
+    | s :: srest, l :: lrest ->
+        small := srest;
+        large := lrest;
+        prob.(s) <- scaled.(s);
+        alias.(s) <- l;
+        scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+        if scaled.(l) < 1. then small := l :: !small else large := l :: !large;
+        pair ()
+    | _, _ -> ()
+  in
+  pair ();
+  (* Leftovers (numerical residue) keep prob = 1, aliasing to themselves. *)
+  List.iter (fun i -> prob.(i) <- 1.) !small;
+  List.iter (fun i -> prob.(i) <- 1.) !large;
+  { pmf; prob; alias }
+
+let draw t rng =
+  let n = Array.length t.prob in
+  let i = Dut_prng.Rng.int rng n in
+  if Dut_prng.Rng.unit_float rng < t.prob.(i) then i else t.alias.(i)
+
+let draw_many t rng q = Array.init q (fun _ -> draw t rng)
+
+let pmf t = t.pmf

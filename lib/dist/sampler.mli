@@ -1,0 +1,20 @@
+(** Exact sampling from a finite pmf via Walker/Vose alias tables.
+
+    Building the table is O(n); each draw is O(1) — two random numbers and
+    one comparison — so protocols can draw millions of samples per second
+    even on large universes. *)
+
+type t
+(** A prepared sampler for a fixed pmf. *)
+
+val of_pmf : Pmf.t -> t
+(** Build the alias table. *)
+
+val draw : t -> Dut_prng.Rng.t -> int
+(** One sample, distributed exactly according to the pmf. *)
+
+val draw_many : t -> Dut_prng.Rng.t -> int -> int array
+(** [draw_many t rng q] is [q] iid samples. *)
+
+val pmf : t -> Pmf.t
+(** The pmf this sampler was built from. *)

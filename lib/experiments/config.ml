@@ -1,0 +1,31 @@
+type profile = Fast | Full
+
+type t = {
+  profile : profile;
+  seed : int;
+  trials : int;
+  level : float;
+  calibration_trials : int;
+}
+
+let make ?(seed = 2019) ?trials profile =
+  let base =
+    match profile with
+    | Fast -> { profile; seed; trials = 120; level = 0.72; calibration_trials = 200 }
+    | Full -> { profile; seed; trials = 240; level = 0.72; calibration_trials = 400 }
+  in
+  match trials with
+  | Some t when t <= 0 -> invalid_arg "Config.make: trials must be positive"
+  | Some t -> { base with trials = t }
+  | None -> base
+
+let rng t = Dut_prng.Rng.create t.seed
+
+let is_fast t = t.profile = Fast
+
+let profile_of_string = function
+  | "fast" -> Some Fast
+  | "full" -> Some Full
+  | _ -> None
+
+let profile_to_string = function Fast -> "fast" | Full -> "full"

@@ -1,0 +1,29 @@
+(** Run configuration shared by every experiment.
+
+    Two parameter profiles: [Fast] keeps each experiment to seconds (used
+    by [bench/main.exe] and CI); [Full] runs the sizes quoted in
+    EXPERIMENTS.md. Everything is derived deterministically from the
+    seed. *)
+
+type profile = Fast | Full
+
+type t = {
+  profile : profile;
+  seed : int;
+  trials : int;  (** Monte-Carlo rounds per probability estimate *)
+  level : float;  (** success level demanded of both error sides *)
+  calibration_trials : int;  (** uniform rounds for referee calibration *)
+}
+
+val make : ?seed:int -> ?trials:int -> profile -> t
+(** Defaults: seed 2019 (the paper's year), trials 120/240, level 0.72,
+    calibration 200/400 for Fast/Full. [trials] overrides the profile's
+    Monte-Carlo budget. *)
+
+val rng : t -> Dut_prng.Rng.t
+(** A fresh root stream for this configuration. *)
+
+val is_fast : t -> bool
+
+val profile_of_string : string -> profile option
+val profile_to_string : profile -> string

@@ -1,0 +1,14 @@
+(** Experiment A1-ablation — sensitivity of the harness's two main
+    design knobs (DESIGN.md decisions 1 and 4).
+
+    Table 1 sweeps the referee's calibration budget: with too few null
+    rounds the calibrated cutoff is noisy and power collapses; past a
+    couple hundred rounds the power curve plateaus — justifying the
+    default calibration_trials.
+
+    Table 2 sweeps the success level the critical-q search demands: q*
+    grows smoothly (no cliff) as the demanded level rises from the
+    definitional 2/3 towards 0.9, so the exponent fits of T1–T7 are
+    insensitive to the 0.72 default. *)
+
+val experiment : Exp.t

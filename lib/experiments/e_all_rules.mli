@@ -1,0 +1,13 @@
+(** Experiment T14-all-rules — Theorem 1.1's "any decision rule",
+    quantified literally.
+
+    On a small universe, the best achievable success probability over
+    {e every} referee rule (randomized included — computed exactly by LP
+    duality over the rule polytope) and over a family of player
+    strategies, as the per-player sample count q grows. The table shows
+    the exact value crossing the 2/3 line at a q consistent with
+    Theorem 1.1's √(n/k)/ε² scale: below that q, {e no} decision rule
+    works — not an estimate, an exact computation with every
+    perturbation z enumerated. *)
+
+val experiment : Exp.t

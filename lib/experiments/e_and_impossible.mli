@@ -1,0 +1,13 @@
+(** Experiment T9-and-impossible — the Section 6.3 remark: with q = 1,
+    the AND rule cannot test uniformity at all, no matter how many
+    players.
+
+    A single-sample player's only deterministic strategy is a reject set
+    A ⊆ [n]; under a random hard instance ν_z the mass of any fixed A
+    concentrates on |A|/n, so the network's rejection probability under
+    "far" tracks its rejection probability under "uniform". The table
+    sweeps the per-player reject mass c/k over a wide range for several
+    k and shows min(accept-uniform, reject-far) stays below 2/3
+    everywhere — there is no calibration that works. *)
+
+val experiment : Exp.t

@@ -1,0 +1,8 @@
+(** Experiment T2-and-rule — Theorem 1.2.
+
+    Same sweep as T1 but with the AND decision rule: the measured q*(k)
+    stays near the centralized √n/ε² with at most polylogarithmic gain,
+    in contrast with T1's k^(−1/2) decay. The table reports both testers
+    side by side, the ratio, and fitted exponents. *)
+
+val experiment : Exp.t

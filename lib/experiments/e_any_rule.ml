@@ -1,0 +1,71 @@
+let run (cfg : Config.t) =
+  let rng = Config.rng cfg in
+  let ell, eps, ks =
+    match cfg.profile with
+    | Config.Fast -> (7, 0.3, [ 1; 4; 16; 64 ])
+    | Config.Full -> (9, 0.25, [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ])
+  in
+  let n = 1 lsl (ell + 1) in
+  let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
+  let results =
+    List.map
+      (fun k ->
+        let qstar =
+          Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
+            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
+              Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
+                ~calibration_trials:cfg.calibration_trials
+                ~rng:(Dut_prng.Rng.split rng))
+        in
+        (k, qstar))
+      ks
+  in
+  let points =
+    List.filter_map
+      (fun (k, q) -> Option.map (fun q -> (float_of_int k, float_of_int q)) q)
+      results
+  in
+  let exponent_note =
+    if List.length points >= 3 then begin
+      let ci =
+        Dut_stats.Bootstrap.exponent_ci (Dut_prng.Rng.split rng)
+          (Array.of_list points)
+      in
+      Printf.sprintf
+        "fitted exponent of q*(k): %.3f [90%% bootstrap %.3f, %.3f] (Theorem 1.1 predicts -0.5)"
+        ci.estimate ci.lower ci.upper
+    end
+    else "too few points to fit"
+  in
+  let rows =
+    List.map
+      (fun (k, qstar) ->
+        match qstar with
+        | None -> [ Table.Int k; Table.Str "not found"; Table.Str "-"; Table.Str "-" ]
+        | Some q ->
+            [
+              Table.Int k;
+              Table.Int q;
+              Table.Float (float_of_int q *. sqrt (float_of_int k));
+              Table.Float (Dut_core.Bounds.thm11_lower ~n ~k ~eps);
+            ])
+      results
+  in
+  [
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "T1-any-rule: critical q vs k (majority rule, n=%d, eps=%.2f)" n eps)
+      ~columns:[ "k"; "q*"; "q*.sqrt(k)"; "theory sqrt(n/k)/e^2" ]
+      ~notes:
+        [ exponent_note; "q*.sqrt(k) should be roughly constant across rows" ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "T1-any-rule";
+    title = "Sample complexity under the best decision rule";
+    statement = "Theorem 1.1 / 6.1: q = Theta(sqrt(n/k)/eps^2) for any rule";
+    run;
+  }

@@ -1,0 +1,11 @@
+(** Experiment T1-any-rule — Theorem 1.1 / Theorem 6.1.
+
+    Measures the empirical critical sample count q* of the
+    calibrated-majority tester (the optimal-rule tester of [7]) as the
+    number of players k grows, at fixed n and ε. Theorem 1.1 says no
+    decision rule can beat q = Ω(√(n/k)/ε²), and [7]'s tester attains it,
+    so the measured q*(k) should scale like k^(−1/2): the table reports
+    q*, the normalized product q*·√k (≈ constant), the theory value, and
+    a fitted log-log exponent (≈ −0.5). *)
+
+val experiment : Exp.t

@@ -1,0 +1,75 @@
+let profiles k_base =
+  (* Same or similar l2 norm, different shapes. With k players at rate r,
+     the norm is r*sqrt(k); all profiles below have norm 8 (for
+     k_base = 64). *)
+  let uniform k r = (Printf.sprintf "%d players @ rate %g" k r, Array.make k r) in
+  let norm = sqrt (float_of_int k_base) in
+  [
+    uniform k_base 1.;
+    uniform (k_base / 4) 2.;
+    uniform 1 norm;
+    (let slow = norm /. sqrt (2. *. float_of_int (k_base / 2)) in
+     let fast = norm /. sqrt (2. *. float_of_int (k_base / 4)) in
+     (* Squared-norm budget split half/half between the two groups. *)
+     ( Printf.sprintf "mixed: %d @ %.2f + %d @ %.2f" (k_base / 2) slow
+         (k_base / 4) fast,
+       Array.append (Array.make (k_base / 2) slow) (Array.make (k_base / 4) fast)
+     ));
+  ]
+
+let run (cfg : Config.t) =
+  let rng = Config.rng cfg in
+  let ell, eps, k_base =
+    match cfg.profile with
+    | Config.Fast -> (7, 0.3, 16)
+    | Config.Full -> (9, 0.25, 64)
+  in
+  let n = 1 lsl (ell + 1) in
+  let results =
+    List.map
+      (fun (label, rates) ->
+        let tau =
+          Dut_core.Async_tester.critical_tau ~trials:cfg.trials ~level:cfg.level
+            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~rates
+            ~calibration_trials:cfg.calibration_trials ~hi:(1 lsl 18) ()
+        in
+        (label, rates, tau))
+      (profiles k_base)
+  in
+  let rows =
+    List.map
+      (fun (label, rates, tau) ->
+        let norm = Dut_core.Bounds.l2_norm rates in
+        match tau with
+        | None -> [ Table.Str label; Table.Float norm; Table.Str "not found"; Table.Str "-"; Table.Str "-" ]
+        | Some t ->
+            [
+              Table.Str label;
+              Table.Float norm;
+              Table.Int t;
+              Table.Float (float_of_int t *. norm);
+              Table.Float (Dut_core.Bounds.async_time_lower ~n ~eps ~rates);
+            ])
+      results
+  in
+  [
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "T7-async: critical time vs rate profile (n=%d, eps=%.2f, |T|_2 ~ %.1f)"
+           n eps (sqrt (float_of_int k_base)))
+      ~columns:[ "profile"; "|T|_2"; "tau*"; "tau*.|T|_2"; "theory sqrt(n)/(e^2 |T|_2)" ]
+      ~notes:
+        [
+          "tau*.|T|_2 should be roughly constant across profiles (Section 6.2)";
+        ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "T7-async";
+    title = "Asymmetric sampling rates";
+    statement = "Section 6.2: optimal time is tau = Theta(sqrt(n)/(eps^2 |T|_2))";
+    run;
+  }

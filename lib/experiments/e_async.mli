@@ -1,0 +1,9 @@
+(** Experiment T7-async — Section 6.2's asymmetric-cost model.
+
+    Rate profiles with very different shapes but (nearly) identical ℓ2
+    norm should need (nearly) identical time budgets τ*, because the
+    paper's bound τ = Θ(√n/(ε²·‖T‖₂)) depends on the rates only through
+    ‖T‖₂. The table lists each profile, its ‖T‖₂, the measured τ*, and
+    the product τ*·‖T‖₂, which should be roughly constant. *)
+
+val experiment : Exp.t

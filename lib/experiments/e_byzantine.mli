@@ -1,0 +1,11 @@
+(** Experiment T19-byzantine — lying players.
+
+    Sweep the number of Byzantine players b against the worst-case
+    (world-aware) adversary, with the referee hardened by widening its
+    acceptance band by b. The one-bit message model caps the adversary's
+    power at shifting the count by b, so power should decay smoothly and
+    break down near the predicted tolerance k·(p_far − p_null)/2 —
+    another face of the paper's theme that a single bit carries little:
+    it limits the players {e and} the adversary symmetrically. *)
+
+val experiment : Exp.t

@@ -1,0 +1,8 @@
+(** Experiment T5-centralized — the Θ(√n/ε²) baseline [16].
+
+    Two sweeps of the centralized collision tester (k = 1): critical
+    sample count vs n at fixed ε (fit ≈ +0.5), and vs ε at fixed n
+    (fit ≈ −2). This is the yardstick the distributed results divide
+    into, and a calibration check on the harness itself. *)
+
+val experiment : Exp.t

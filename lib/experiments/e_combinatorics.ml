@@ -1,0 +1,99 @@
+let max_claim31_error ~ell ~q ~eps rng =
+  let n = 1 lsl (ell + 1) in
+  let worst = ref 0. in
+  (* All z for ell <= 2; random sample of z beyond. *)
+  let zs =
+    if ell <= 2 then begin
+      let acc = ref [] in
+      Dut_core.Exact.iter_all_z ~ell (fun z -> acc := Array.copy z :: !acc);
+      !acc
+    end
+    else
+      List.init 16 (fun _ -> Dut_prng.Rng.rademacher_vector rng (1 lsl ell))
+  in
+  List.iter
+    (fun z ->
+      let d = Dut_dist.Paninski.create ~ell ~eps ~z in
+      let total = int_of_float (float_of_int n ** float_of_int q) in
+      for idx = 0 to total - 1 do
+        let tuple =
+          Array.init q (fun j ->
+              idx / int_of_float (float_of_int n ** float_of_int j) mod n)
+        in
+        let direct = Dut_dist.Paninski.tuple_prob d tuple in
+        let fourier = Dut_dist.Paninski.tuple_prob_fourier d tuple in
+        worst := Float.max !worst (Float.abs (direct -. fourier))
+      done)
+    zs;
+  !worst
+
+let max_lemma41_error ~ell ~q ~eps rng =
+  let worst = ref 0. in
+  let gs =
+    [
+      Dut_core.Exact.collision_acceptor ~ell ~q ~cutoff:1;
+      Dut_core.Exact.random_biased ~ell ~q ~accept_prob:0.6 rng;
+    ]
+  in
+  List.iter
+    (fun g ->
+      for _ = 1 to 8 do
+        let d = Dut_dist.Paninski.random ~ell ~eps rng in
+        let direct = Dut_core.Exact.nu g d -. Dut_core.Exact.mu g in
+        let fourier = Dut_core.Exact.diff_fourier g d in
+        worst := Float.max !worst (Float.abs (direct -. fourier))
+      done)
+    gs;
+  !worst
+
+let interchange_error ~ell ~q ~r =
+  let m = 1 lsl ell in
+  (* Sum a_r(x) over all x by enumeration vs the closed form. *)
+  let total = int_of_float (float_of_int m ** float_of_int q) in
+  let sum = ref 0. in
+  for idx = 0 to total - 1 do
+    let x =
+      Array.init q (fun j -> idx / int_of_float (float_of_int m ** float_of_int j) mod m)
+    in
+    sum := !sum +. float_of_int (Dut_boolcube.Even_cover.a_r ~x ~r)
+  done;
+  let closed = Dut_boolcube.Even_cover.sum_a_r ~m ~q ~r in
+  Float.abs (!sum -. closed)
+
+let run (cfg : Config.t) =
+  let rng = Config.rng cfg in
+  let cases =
+    match cfg.profile with
+    | Config.Fast -> [ (1, 2); (2, 2); (2, 3) ]
+    | Config.Full -> [ (1, 2); (1, 3); (2, 2); (2, 3); (3, 2) ]
+  in
+  let eps = 0.3 in
+  let rows =
+    List.map
+      (fun (ell, q) ->
+        let n = 1 lsl (ell + 1) in
+        [
+          Table.Int n;
+          Table.Int q;
+          Table.Float (max_claim31_error ~ell ~q ~eps (Dut_prng.Rng.split rng));
+          Table.Float (max_lemma41_error ~ell ~q ~eps (Dut_prng.Rng.split rng));
+          Table.Float (interchange_error ~ell ~q ~r:1);
+        ])
+      cases
+  in
+  [
+    Table.make
+      ~title:"T8-combinatorics: exhaustive identity checks (max abs error)"
+      ~columns:
+        [ "n"; "q"; "Claim 3.1 err"; "Lemma 4.1 err"; "sum a_r interchange err" ]
+      ~notes:[ "all errors must be at float-rounding scale (< 1e-9)" ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "T8-combinatorics";
+    title = "Exact identities";
+    statement = "Claim 3.1, Lemma 4.1, and the Section 5.1 interchange identity";
+    run;
+  }

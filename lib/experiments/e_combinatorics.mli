@@ -1,0 +1,11 @@
+(** Experiment T8-combinatorics — Claim 3.1, Lemma 4.1 and the
+    even-cover identities, checked exhaustively.
+
+    For small (ℓ, q): the maximum absolute discrepancy between the
+    direct product probability ν_z^q and its character expansion
+    (Claim 3.1) over all tuples and all z; the maximum discrepancy
+    between ν_z(G) − μ(G) and Lemma 4.1's Fourier form over a family of
+    G; and the interchange identity Σ_x a_r(x) = C(q,2r)·|X_2r|. All
+    discrepancies must be at float-rounding scale. *)
+
+val experiment : Exp.t

@@ -1,0 +1,11 @@
+(** Experiment T18-crash — fault tolerance of the distributed tester.
+
+    Sweep the per-round crash probability φ at a fixed per-player sample
+    budget: the crash-aware referee (live-fraction cutoff, calibrated
+    under the same crash model) should degrade as if the fleet were
+    (1−φ)k strong — its power at crash rate φ should track the
+    crash-free tester's power at k' = (1−φ)k — rather than collapse.
+    A fault-model extension the paper doesn't treat, but any deployment
+    needs. *)
+
+val experiment : Exp.t

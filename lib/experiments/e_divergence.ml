@@ -1,0 +1,70 @@
+let run (cfg : Config.t) =
+  let ell, qs =
+    match cfg.profile with
+    | Config.Fast -> (2, [ 1; 2; 3 ])
+    | Config.Full -> (2, [ 1; 2; 3; 4; 5 ])
+  in
+  let eps = 0.3 in
+  let n = 1 lsl (ell + 1) in
+  let rows =
+    List.map
+      (fun q ->
+        let g = Dut_core.Exact.collision_acceptor ~ell ~q ~cutoff:1 in
+        let mu = Dut_core.Exact.mu g in
+        (* Exact E_z of the Bernoulli divergences between the bit the
+           player sends under nu_z and under uniform. *)
+        let total_kl = ref 0. in
+        let total_chi2 = ref 0. in
+        let fact63_ok = ref true in
+        let count = ref 0 in
+        Dut_core.Exact.iter_all_z ~ell (fun z ->
+            let d = Dut_dist.Paninski.create ~ell ~eps ~z in
+            let nu = Dut_core.Exact.nu g d in
+            let kl = Dut_info.Divergence.kl_bernoulli ~alpha:nu ~beta:mu in
+            let chi2 = Dut_info.Divergence.chi2_bound ~alpha:nu ~beta:mu in
+            if kl > chi2 +. 1e-12 then fact63_ok := false;
+            total_kl := !total_kl +. kl;
+            total_chi2 := !total_chi2 +. chi2;
+            incr count);
+        let mean_kl = !total_kl /. float_of_int !count in
+        let mean_chi2 = !total_chi2 /. float_of_int !count in
+        let budget = Dut_core.Bounds.divergence_budget ~q ~n ~eps in
+        [
+          Table.Int q;
+          Table.Float mu;
+          Table.Float mean_kl;
+          Table.Float mean_chi2;
+          Table.Float budget;
+          Table.Bool (mean_kl <= budget +. 1e-12);
+          Table.Bool !fact63_ok;
+        ])
+      qs
+  in
+  [
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "T11-divergence: exact per-player divergence vs the (12) budget (n=%d, eps=%.2f)"
+           n eps)
+      ~columns:
+        [
+          "q"; "mu(G)"; "E_z KL (bits)"; "E_z chi2 bound"; "budget (12)";
+          "KL<=budget"; "Fact 6.3 holds";
+        ]
+      ~notes:
+        [
+          "budget = (20 q^2 e^4/n + q e^2/n)/ln2; a player cannot leak more than this";
+          Printf.sprintf
+            "requirement (10) at k players: %.4g/k bits per player (delta=1/3)"
+            (Dut_info.Divergence.success_divergence_requirement ~delta:(1. /. 3.));
+        ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "T11-divergence";
+    title = "The information-theoretic pipeline";
+    statement = "Section 6.1, (10)-(13): divergence requirement vs Lemma 4.2 budget";
+    run;
+  }

@@ -1,0 +1,11 @@
+(** Experiment T15-eps — the ε-dependence of distributed testing.
+
+    The paper's introduction stresses that applications need ε = o(1),
+    so the 1/ε² factor matters as much as the √(n/k). T5 verifies it for
+    the centralized baseline; this experiment verifies that the
+    {e distributed} majority tester keeps the same ε-exponent (the
+    distributed lower bound Ω(√(n/k)/ε²) has the identical 1/ε² factor),
+    and tabulates the AND tester alongside, whose ε-cost Theorem 1.2
+    also puts at 1/ε² (times the polylog k). *)
+
+val experiment : Exp.t

@@ -1,0 +1,13 @@
+(** Experiment F6-exact-power — the centralized tester's exact power
+    curve.
+
+    On a small universe everything about the collision tester can be
+    computed without sampling: the full distribution of the collision
+    statistic under μ^q and under the ν_z mixture, the power of every
+    cutoff, and the optimal cutoff's value. The table shows exactly when
+    testing becomes possible — where min(accept, reject) first crosses
+    2/3 — and that the midpoint cutoff used by the implementation is
+    near the exact optimum. This is F4's Monte-Carlo picture, made
+    exact. *)
+
+val experiment : Exp.t

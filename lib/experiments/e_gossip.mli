@@ -1,0 +1,12 @@
+(** Experiment T16-gossip — the aggregation spectrum.
+
+    Three ways to combine the same per-node votes on the same topology:
+    the AND alarm wire (maximally local, Theorem 1.2's cost in samples),
+    tree convergecast to a root (the [7] reduction: cheap rounds, but a
+    root), and refereeless push-sum gossip (no distinguished node at
+    all: every node learns the reject fraction, at a mixing-time round
+    cost). The table reports measured power at a common sample budget
+    and the rounds/messages each mechanism used — the locality-vs-cost
+    trade of the paper's title, in one table. *)
+
+val experiment : Exp.t

@@ -1,0 +1,12 @@
+(** Experiment T12-identity — the completeness reduction.
+
+    "Uniformity testing is complete for testing identity to any fixed
+    distribution" (abstract; Goldreich [11]): run the flatten-and-mix
+    reduction against several targets (uniform, Zipf, two-level,
+    truncated geometric), each time on (a) samples from the target
+    itself and (b) samples from a pairwise perturbation at ℓ1 distance
+    ≈ ε, and report both empirical success rates — all carried by the
+    plain uniformity tester underneath. Also reports the closeness
+    tester on the same instances as the "harder sibling" baseline. *)
+
+val experiment : Exp.t

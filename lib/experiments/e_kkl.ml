@@ -1,0 +1,70 @@
+let and_of_first_j j x =
+  (* 1 iff the first j coordinates are all +1 (bits clear). *)
+  x land ((1 lsl j) - 1) = 0
+
+let run (cfg : Config.t) =
+  let rng = Config.rng cfg in
+  let dim = match cfg.profile with Config.Fast -> 10 | Config.Full -> 12 in
+  let js = [ 2; 4; 6 ] in
+  let deltas = [ 1.; 0.5; 1. /. 3. ] in
+  let rs = [ 1; 2 ] in
+  let funcs =
+    List.map
+      (fun j ->
+        ( Printf.sprintf "AND_%d" j,
+          Dut_boolcube.Fourier.of_boolean (and_of_first_j j) ~dim ))
+      js
+    @ List.map
+        (fun p ->
+          ( Printf.sprintf "random(mu~%.2f)" p,
+            Dut_boolcube.Fourier.of_boolean
+              (fun _ -> Dut_prng.Rng.bernoulli rng p)
+              ~dim ))
+        [ 0.05; 0.2 ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, ft) ->
+        let mu = Dut_boolcube.Fourier.mean ft in
+        (* The inequality is stated for mu <= 1/2 (apply to 1-f otherwise);
+           all functions here satisfy it. *)
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun delta ->
+                let weight = Dut_boolcube.Fourier.weight_up_to ft r in
+                let bound = Dut_boolcube.Fourier.kkl_bound ~mu ~r ~delta in
+                [
+                  Table.Str name;
+                  Table.Float mu;
+                  Table.Int r;
+                  Table.Float delta;
+                  Table.Float weight;
+                  Table.Float bound;
+                  Table.Float (if bound > 0. then weight /. bound else 0.);
+                ])
+              deltas)
+          rs)
+      funcs
+  in
+  [
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "F3-kkl: low-level Fourier weight vs delta^-r mu^(2/(1+delta)) (dim=%d)"
+           dim)
+      ~columns:[ "f"; "mu"; "level r"; "delta"; "weight<=r"; "KKL bound"; "ratio" ]
+      ~notes:
+        [
+          "ratios must be <= 1; AND functions approach the bound, random ones sit far below";
+        ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "F3-kkl";
+    title = "The level inequality";
+    statement = "Lemma 5.4 (KKL): weight up to level r is at most delta^-r mu^(2/(1+delta))";
+    run;
+  }

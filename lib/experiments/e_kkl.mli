@@ -1,0 +1,10 @@
+(** Experiment F3-kkl — the level inequality (Lemma 5.4, after
+    Kahn–Kalai–Linial).
+
+    For AND-of-j-coordinates functions (the classical near-extremal
+    family, mean 2^(−j)) and for random biased functions, compute the
+    exact low-level Fourier weight by FWHT and compare with
+    δ^(−r)·μ^(2/(1+δ)). AND functions should approach the bound; random
+    functions sit far below it. All ratios must be ≤ 1. *)
+
+val experiment : Exp.t

@@ -1,0 +1,12 @@
+(** Experiment T4-learning — Theorem 1.4.
+
+    Distributed learning with one-bit messages: measure the least number
+    of nodes k at which the watcher protocol reconstructs random hard
+    instances within ℓ1 error δ, as the per-node sample count q grows.
+    Theorem 1.4 lower-bounds any protocol by k = Ω(n²/q²); the
+    implemented protocol's own guarantee is k = O(n²/(q·δ²)). The table
+    reports the measured k*(q), its fitted exponent in q, and both
+    reference curves — the measured points must respect the lower
+    bound. *)
+
+val experiment : Exp.t

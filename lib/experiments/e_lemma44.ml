@@ -1,0 +1,74 @@
+let family ~ell ~q rng =
+  let max_cutoff = (q * (q - 1) / 2) + 1 in
+  List.concat
+    [
+      List.init max_cutoff (fun c ->
+          Dut_core.Exact.collision_acceptor ~ell ~q ~cutoff:(c + 1));
+      [ Dut_core.Exact.s_detector ~ell ~q ];
+      List.map
+        (fun p -> Dut_core.Exact.random_biased ~ell ~q ~accept_prob:p rng)
+        [ 0.5; 0.9; 0.99 ];
+    ]
+
+let run (cfg : Config.t) =
+  let rng = Config.rng cfg in
+  let cases =
+    match cfg.profile with
+    | Config.Fast -> [ (1, 1); (1, 2); (2, 2); (2, 3) ]
+    | Config.Full -> [ (1, 1); (1, 2); (1, 3); (2, 1); (2, 2); (2, 3); (2, 4); (3, 2) ]
+  in
+  let epss = [ 0.1; 0.3 ] in
+  let m = 1 in
+  let rows =
+    List.concat_map
+      (fun (ell, q) ->
+        List.map
+          (fun eps ->
+            let n = 1 lsl (ell + 1) in
+            let gs = family ~ell ~q (Dut_prng.Rng.split rng) in
+            let worst_c =
+              List.fold_left
+                (fun acc g ->
+                  Float.max acc (Dut_core.Exact.lemma44_min_constant g ~eps ~m))
+                0. gs
+            in
+            let ratio_at_4 =
+              List.fold_left
+                (fun acc g ->
+                  Float.max acc (Dut_core.Exact.lemma44_ratio g ~eps ~m ~c:4.))
+                0. gs
+            in
+            [
+              Table.Int n;
+              Table.Int q;
+              Table.Float eps;
+              Table.Float worst_c;
+              Table.Float ratio_at_4;
+              Table.Bool (ratio_at_4 <= 1.);
+            ])
+          epss)
+      cases
+  in
+  [
+    Table.make
+      ~title:"F5-lemma44: the smallest constant C making Lemma 4.4 hold (m=1)"
+      ~columns:
+        [ "n"; "q"; "eps"; "min C (worst G)"; "ratio at C=4"; "C=4 suffices" ]
+      ~notes:
+        [
+          "Lemma 4.4 asserts 'there exists C'; the table computes the least C exactly";
+          "on every enumerated instance the first (2e^2 q/n var) term already";
+          "covers the exact LHS (min C = 0) -- note its constant 2, vs Lemma 4.2's 1,";
+          "which is precisely the slack the F1 finding points at";
+        ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "F5-lemma44";
+    title = "The medium-variance lemma's constant";
+    statement =
+      "Lemma 4.4: E_z[(nu_z(G)-mu(G))^2] <= 2e^2 q/n var(G) + C (...) var(G)^(2-1/(m+1))";
+    run;
+  }

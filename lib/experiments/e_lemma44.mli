@@ -1,0 +1,12 @@
+(** Experiment F5-lemma44 — Lemma 4.4, the medium-variance
+    interpolation.
+
+    Lemma 4.4 asserts the existence of a constant C making
+    E_z[(ν_z(G)−μ(G))²] ≤ 2ε²q/n·var(G) + C·(…)·m²ε²·var(G)^(2−1/(m+1))
+    hold. For each small instance we compute, exactly, the {e smallest}
+    C that works, over the same function family as F1. The table shows
+    a modest uniform constant (single digits) suffices everywhere the
+    side condition on q holds — the executable form of "there exists
+    C > 0". *)
+
+val experiment : Exp.t

@@ -1,0 +1,108 @@
+type ratios = {
+  l51 : float;
+  l42 : float;
+  l42_slack : float;
+  l43 : float;
+  witness : string;
+}
+
+let family ~ell ~q rng =
+  let max_cutoff = (q * (q - 1) / 2) + 1 in
+  let cutoffs = List.init max_cutoff (fun c -> c + 1) in
+  List.concat
+    [
+      List.map
+        (fun c ->
+          ( Printf.sprintf "collisions<%d" c,
+            Dut_core.Exact.collision_acceptor ~ell ~q ~cutoff:c ))
+        cutoffs;
+      [ ("s-detector", Dut_core.Exact.s_detector ~ell ~q) ];
+      List.map
+        (fun p ->
+          ( Printf.sprintf "random(p=%.2f)" p,
+            Dut_core.Exact.random_biased ~ell ~q ~accept_prob:p rng ))
+        [ 0.5; 0.9; 0.99 ];
+      [ ("constant-1", Dut_core.Exact.constant ~ell ~q true) ];
+    ]
+
+let worst_ratios ~ell ~q ~eps ~m rng =
+  let gs = family ~ell ~q rng in
+  List.fold_left
+    (fun acc (name, g) ->
+      let r51 = Dut_core.Exact.lemma51_ratio g ~eps in
+      let r42 = Dut_core.Exact.lemma42_ratio g ~eps in
+      let r42s = Dut_core.Exact.lemma42_slack_ratio g ~eps in
+      let r43 = Dut_core.Exact.lemma43_ratio g ~eps ~m in
+      {
+        l51 = Float.max acc.l51 r51;
+        l42 = Float.max acc.l42 r42;
+        l42_slack = Float.max acc.l42_slack r42s;
+        l43 = Float.max acc.l43 r43;
+        witness = (if r42 > acc.l42 then name else acc.witness);
+      })
+    { l51 = 0.; l42 = 0.; l42_slack = 0.; l43 = 0.; witness = "-" }
+    gs
+
+let run (cfg : Config.t) =
+  let rng = Config.rng cfg in
+  let cases =
+    match cfg.profile with
+    | Config.Fast -> [ (1, 1); (1, 2); (2, 2); (2, 3) ]
+    | Config.Full ->
+        [ (1, 1); (1, 2); (1, 3); (2, 1); (2, 2); (2, 3); (2, 4); (3, 2); (3, 3) ]
+  in
+  let epss =
+    match cfg.profile with
+    | Config.Fast -> [ 0.1; 0.3 ]
+    | Config.Full -> [ 0.1; 0.2; 0.3; 0.5 ]
+  in
+  let m = 1 in
+  let rows =
+    List.concat_map
+      (fun (ell, q) ->
+        List.map
+          (fun eps ->
+            let n = 1 lsl (ell + 1) in
+            let w = worst_ratios ~ell ~q ~eps ~m (Dut_prng.Rng.split rng) in
+            [
+              Table.Int n;
+              Table.Int q;
+              Table.Float eps;
+              Table.Float w.l51;
+              Table.Bool (Dut_core.Bounds.lemma51_applies ~q ~n ~eps);
+              Table.Float w.l42;
+              Table.Float w.l42_slack;
+              Table.Bool (Dut_core.Bounds.lemma42_applies ~q ~n ~eps);
+              Table.Float w.l43;
+              Table.Str w.witness;
+            ])
+          epss)
+      cases
+  in
+  [
+    Table.make
+      ~title:"F1-lemma51: exact worst-case LHS/RHS ratios over player functions"
+      ~columns:
+        [
+          "n"; "q"; "eps"; "L5.1 ratio"; "L5.1 applies"; "L4.2 ratio";
+          "L4.2 slack ratio"; "L4.2 applies"; "L4.3 ratio (m=1)"; "worst G (L4.2)";
+        ]
+      ~notes:
+        [
+          "ratios are exact (full enumeration of z and the cube)";
+          "L5.1 and the slack form of L4.2 must be <= 1 whenever their conditions hold";
+          "finding: the literal L4.2 constant is exceeded (ratio up to 2) by the";
+          "s-detector at q=1; raising the linear term's constant to 4 restores it";
+          "(benign: downstream uses absorb constants into the Omega)";
+        ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "F1-lemma51";
+    title = "Exact verification of the main lemmas";
+    statement =
+      "Lemmas 5.1/4.2/4.3: |E_z nu_z(G) - mu(G)| and its square are bounded by the Fourier RHS";
+    run;
+  }

@@ -1,0 +1,17 @@
+(** Experiment F1-lemma51 — Lemmas 5.1, 4.2 and 4.3, verified exactly.
+
+    For each (ℓ, q, ε) in range, enumerate the full truth table of a
+    family of player functions G — collision acceptors at every cutoff,
+    biased and unbiased random functions, and constants — compute
+    E_z[ν_z(G)] − μ(G) and E_z[(ν_z(G) − μ(G))²] exactly over all
+    2^(2^ℓ) perturbations, and report the worst LHS/RHS ratio of each
+    lemma over the family. Lemma 5.1's ratio must be ≤ 1 whenever its
+    side-condition on q holds.
+
+    Reproduction finding: Lemma 4.2's {e literal} constants are exceeded
+    (ratio up to 2) by the side-bit detector at q = 1; the inequality
+    holds once the linear term's constant is raised from 1 to 4 (the
+    "slack" column). This is a benign constant-level slip — every
+    downstream use wraps the lemma in Ω(·). *)
+
+val experiment : Exp.t

@@ -1,0 +1,12 @@
+(** Experiment T13-local-model — the LOCAL-model reduction of [7],
+    executed on a real synchronous message-passing simulator.
+
+    Fixed player count k, one node per graph vertex, across topologies
+    of very different diameters. The empirical critical per-node sample
+    count q* is topology-independent (the votes don't care how they
+    travel), while the measured LOCAL time q* + 2·height + 1 and message
+    count vary with the topology — on a path the aggregation term
+    dominates, on a star or clique the sampling term (the simultaneous
+    model's Theorem 1.1 cost) does. *)
+
+val experiment : Exp.t

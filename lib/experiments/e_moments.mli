@@ -1,0 +1,9 @@
+(** Experiment F2-moments — Lemma 5.5 and Proposition 5.2, exactly.
+
+    Enumerates all sample tuples over the left-cube alphabet and
+    computes the moments E_x[a_r(x)^m] of the evenly-covered-subset count
+    exactly, comparing against Lemma 5.5's bound; also tabulates the
+    exact size of X_S against Proposition 5.2's
+    (|S|−1)!!·(n/2)^(q−|S|/2) bound. Every ratio must be ≤ 1. *)
+
+val experiment : Exp.t

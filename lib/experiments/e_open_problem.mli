@@ -1,0 +1,14 @@
+(** Experiment T20-open-problem — the paper's open question, probed.
+
+    After Theorem 1.2 the paper notes a possible quadratic gap: the
+    lower bound permits the AND tester's gain to scale like k^Θ(ε),
+    while [7]'s tester achieves k^Θ(ε²) — "leaving open a possible
+    quadratic improvement in the exponent of k". This experiment
+    measures the implemented AND tester's k-exponent θ̂(ε) at several ε
+    (with bootstrap intervals) and tabulates it against the two
+    candidate scalings ε·c and ε²·c. The implemented tester follows
+    [7]'s construction, so θ̂ tracking ε² (not ε) is the expected
+    outcome — the open question is whether a cleverer tester could do
+    better, and the measured gap quantifies what's at stake. *)
+
+val experiment : Exp.t

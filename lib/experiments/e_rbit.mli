@@ -1,0 +1,10 @@
+(** Experiment T6-rbit — Theorem 6.4.
+
+    Sweep the per-player message length r with n, k, ε fixed: critical q
+    decreases with r (each extra bit refines the transmitted sketch of
+    the local statistic) but with diminishing returns, consistent with
+    the 2^r factor in Theorem 6.4's min(√(n/(2^r k)), n/(2^r k))/ε²
+    bound and its eventual saturation at the statistic's full
+    resolution. *)
+
+val experiment : Exp.t

@@ -1,0 +1,73 @@
+let quantized_message ~n ~q ~levels tuple =
+  (* Collision count clipped into the available levels: with enough
+     levels this is the full statistic, with 2 it is a one-bit vote at
+     the first collision. *)
+  ignore n;
+  ignore q;
+  min (levels - 1) (Dut_core.Local_stat.collisions tuple)
+
+let run (cfg : Config.t) =
+  let ell, qs, eps =
+    match cfg.profile with
+    | Config.Fast -> (2, [ 3; 4 ], 0.3)
+    | Config.Full -> (2, [ 3; 4; 5 ], 0.3)
+  in
+  let n = 1 lsl (ell + 1) in
+  let rows =
+    List.concat_map
+      (fun q ->
+        let max_stat = (q * (q - 1) / 2) + 1 in
+        List.filter_map
+          (fun r ->
+            let levels = min (1 lsl r) max_stat in
+            if r > 1 && levels < 1 lsl (r - 1) then None
+            else begin
+              let div =
+                Dut_core.Exact.message_divergence ~ell ~q ~eps ~levels
+                  (quantized_message ~n ~q ~levels)
+              in
+              let one_bit =
+                Dut_core.Exact.message_divergence ~ell ~q ~eps ~levels:2
+                  (quantized_message ~n ~q ~levels:2)
+              in
+              Some
+                [
+                  Table.Int q;
+                  Table.Int r;
+                  Table.Int levels;
+                  Table.Float div;
+                  Table.Float (if one_bit > 0. then div /. one_bit else 0.);
+                  Table.Float (Dut_core.Bounds.divergence_budget ~q ~n ~eps);
+                ]
+            end)
+          [ 1; 2; 3; 4 ])
+      qs
+  in
+  [
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "F7-rbit-divergence: exact per-player leakage vs message bits (n=%d, eps=%.2f)"
+           n eps)
+      ~columns:
+        [
+          "q"; "r (bits)"; "levels used"; "E_z KL (bits)"; "gain over 1 bit";
+          "one-bit budget (12)";
+        ]
+      ~notes:
+        [
+          "exact over all z and the whole cube; message = quantized collision count";
+          "leakage grows with r then saturates once the statistic is fully sent --";
+          "the 2^Theta(l) budget of Theorem 6.4 is an upper envelope, not a guarantee";
+        ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "F7-rbit-divergence";
+    title = "What r bits leak";
+    statement =
+      "Theorem 6.4 / 'lower bounds decay as 2^-Theta(l)': the message-length budget, exactly";
+    run;
+  }

@@ -1,0 +1,14 @@
+(** Experiment F7-rbit-divergence — how much an r-bit message leaks,
+    exactly.
+
+    The paper's lower bounds "decay as 2^−Θ(ℓ)" with the message length
+    — equivalently, an ℓ-bit message can carry up to ~2^Θ(ℓ) times the
+    one-bit divergence budget. Here the per-player divergence
+    E_z[D(message under ν_z ‖ under μ)] is computed exactly for the
+    collision-count message quantized to r bits, r = 0-bits-of-sketch
+    (the one-bit vote) up to the full statistic. The growth with r and
+    its saturation — once the statistic is fully transmitted, more bits
+    carry nothing — are both visible, bounding the useful message
+    length at these parameters. *)
+
+val experiment : Exp.t

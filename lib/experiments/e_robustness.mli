@@ -1,0 +1,12 @@
+(** Experiment T17-robustness — beyond the hard family.
+
+    The Paninski family is the {e worst case}: it spreads the ε of ℓ1
+    distance as thinly as possible (every element perturbed by ε/n), so
+    its ℓ2 signal (1+ε²)/n is the minimum over ε-far distributions. Any
+    other ε-far input concentrates more ℓ2 mass and must be easier for a
+    collision-based tester. This experiment confronts the calibrated
+    majority tester — calibrated once, against the uniform null only —
+    with several other exactly-ε-far families and checks the rejection
+    probability is at least the hard family's on every row. *)
+
+val experiment : Exp.t

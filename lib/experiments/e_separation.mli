@@ -1,0 +1,10 @@
+(** Experiment F4-separation — Section 3's "collisions carry the signal".
+
+    Tabulates the collision statistic's distribution under μ^q versus
+    ν_z^q (fresh z per round) as q grows: null mean and standard
+    deviation, far-side mean, and the standardized gap (z-score). The
+    gap crosses z ≈ 1 near q ≈ √n/ε² — the exact place the centralized
+    sample complexity sits, and the mechanism every tester in this
+    repository exploits. *)
+
+val experiment : Exp.t

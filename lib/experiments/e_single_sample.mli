@@ -1,0 +1,9 @@
+(** Experiment T10-single-sample — the q = 1 regime of [1] / Theorem 6.4.
+
+    Sweep the message length ℓ with every player holding exactly one
+    sample: the measured critical number of players k* decreases like
+    2^(−ℓ/2), the trade-off Acharya–Canonne–Tyagi proved optimal and the
+    paper's techniques recover. The table reports k*, the normalized
+    k*·2^(ℓ/2), and the theory curve. *)
+
+val experiment : Exp.t

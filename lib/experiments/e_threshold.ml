@@ -1,0 +1,69 @@
+let run (cfg : Config.t) =
+  let rng = Config.rng cfg in
+  let ell, eps, k, ts =
+    match cfg.profile with
+    | Config.Fast -> (7, 0.3, 32, [ 1; 2; 4; 8; 16 ])
+    | Config.Full -> (9, 0.25, 64, [ 1; 2; 4; 8; 16; 32 ])
+  in
+  let n = 1 lsl (ell + 1) in
+  let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
+  let results =
+    List.map
+      (fun t ->
+        let qstar =
+          Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
+            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
+              Dut_core.Threshold_tester.tester_fixed ~n ~eps ~k ~q ~t)
+        in
+        (t, qstar))
+      ts
+  in
+  let points =
+    List.filter_map
+      (fun (t, q) -> Option.map (fun q -> (float_of_int t, float_of_int q)) q)
+      results
+  in
+  let exponent =
+    if List.length points >= 2 then
+      Dut_stats.Fit.power_law_exponent (Array.of_list points)
+    else Float.nan
+  in
+  let rows =
+    List.map
+      (fun (t, qstar) ->
+        match qstar with
+        | None -> [ Table.Int t; Table.Str "not found"; Table.Str "-"; Table.Str "-" ]
+        | Some q ->
+            [
+              Table.Int t;
+              Table.Int q;
+              Table.Float (float_of_int (q * t));
+              Table.Float (Dut_core.Bounds.thm13_threshold_lower ~n ~k ~eps ~t);
+            ])
+      results
+  in
+  [
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "T3-threshold-T: critical q vs reject-threshold T (n=%d, k=%d, eps=%.2f)"
+           n k eps)
+      ~columns:[ "T"; "q*"; "q*.T"; "thm1.3 sqrt(n)/(T lg^2(k/e) e^2)" ]
+      ~notes:
+        [
+          Printf.sprintf
+            "fitted exponent of q*(T): %.3f (Theorem 1.3 predicts about -1 before saturation)"
+            exponent;
+          "T=1 is the AND rule; q*.T should be roughly flat in the 1/T regime";
+        ]
+      rows;
+  ]
+
+let experiment =
+  {
+    Exp.id = "T3-threshold-T";
+    title = "The cost of small reject thresholds";
+    statement =
+      "Theorem 1.3: the T-threshold rule needs q = Omega(sqrt(n)/(T log^2(k/eps) eps^2))";
+    run;
+  }

@@ -1,0 +1,9 @@
+(** Experiment T3-threshold-T — Theorem 1.3.
+
+    Fix n, k, ε and sweep the referee's reject-threshold T from 1 (the
+    AND rule) towards k/2 (majority): the measured critical q falls
+    roughly like 1/T before saturating at the T1 level, matching
+    Theorem 1.3's Ω(√n/(T·log²(k/ε)·ε²)) shape — small thresholds force
+    players into the rare-alarm regime and cost samples. *)
+
+val experiment : Exp.t

@@ -1,0 +1,6 @@
+type t = {
+  id : string;
+  title : string;
+  statement : string;
+  run : Config.t -> Table.t list;
+}

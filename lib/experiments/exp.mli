@@ -1,0 +1,10 @@
+(** The experiment interface: an id, the statement of the paper it
+    regenerates, and a run function from configuration to result
+    tables. *)
+
+type t = {
+  id : string;  (** stable identifier, e.g. "T1-any-rule" *)
+  title : string;
+  statement : string;  (** the theorem/lemma being reproduced *)
+  run : Config.t -> Table.t list;
+}

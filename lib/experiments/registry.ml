@@ -1,0 +1,35 @@
+let all =
+  [
+    E_any_rule.experiment;
+    E_and_rule.experiment;
+    E_threshold.experiment;
+    E_learning.experiment;
+    E_centralized.experiment;
+    E_rbit.experiment;
+    E_async.experiment;
+    E_lemma_fourier.experiment;
+    E_moments.experiment;
+    E_kkl.experiment;
+    E_separation.experiment;
+    E_combinatorics.experiment;
+    E_and_impossible.experiment;
+    E_single_sample.experiment;
+    E_divergence.experiment;
+    E_local_model.experiment;
+    E_identity.experiment;
+    E_lemma44.experiment;
+    E_ablation.experiment;
+    E_all_rules.experiment;
+    E_eps_dependence.experiment;
+    E_exact_power.experiment;
+    E_gossip.experiment;
+    E_robustness.experiment;
+    E_crash.experiment;
+    E_byzantine.experiment;
+    E_rbit_divergence.experiment;
+    E_open_problem.experiment;
+  ]
+
+let find id = List.find_opt (fun e -> e.Exp.id = id) all
+
+let ids () = List.map (fun e -> e.Exp.id) all

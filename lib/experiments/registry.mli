@@ -1,0 +1,10 @@
+(** The experiment registry: every table of EXPERIMENTS.md, by id. *)
+
+val all : Exp.t list
+(** All experiments, in the order of the per-experiment index of
+    DESIGN.md. *)
+
+val find : string -> Exp.t option
+(** Lookup by id (case-sensitive, e.g. "T1-any-rule"). *)
+
+val ids : unit -> string list

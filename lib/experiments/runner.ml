@@ -1,0 +1,20 @@
+let run_to_channel ?(csv = false) cfg exp channel =
+  Printf.fprintf channel "# %s — %s\n# %s\n# profile=%s seed=%d\n%!"
+    exp.Exp.id exp.title exp.statement
+    (Config.profile_to_string cfg.Config.profile)
+    cfg.seed;
+  let started = Unix.gettimeofday () in
+  let tables = exp.run cfg in
+  List.iter
+    (fun t ->
+      output_string channel (if csv then Table.to_csv t else Table.render t);
+      output_char channel '\n')
+    tables;
+  let elapsed = Unix.gettimeofday () -. started in
+  Printf.fprintf channel "# elapsed: %.1fs\n\n%!" elapsed;
+  elapsed
+
+let run_all_to_channel ?csv cfg channel =
+  List.fold_left
+    (fun total exp -> total +. run_to_channel ?csv cfg exp channel)
+    0. Registry.all

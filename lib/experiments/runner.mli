@@ -1,0 +1,10 @@
+(** Shared experiment execution/printing used by the CLI and the bench
+    harness. *)
+
+val run_to_channel :
+  ?csv:bool -> Config.t -> Exp.t -> out_channel -> float
+(** Run one experiment, print its header, tables and elapsed time to the
+    channel; returns the elapsed seconds. *)
+
+val run_all_to_channel : ?csv:bool -> Config.t -> out_channel -> float
+(** Run the whole registry in order; returns total elapsed seconds. *)

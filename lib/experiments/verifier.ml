@@ -1,0 +1,152 @@
+type verdict = { experiment : string; checks : int; failures : string list }
+
+(* Each checker folds over the rows of one table and returns failure
+   descriptions. Columns are addressed by index into the known layout of
+   the experiment that produced them; the layouts are pinned by the
+   structural tests in test_experiments.ml. *)
+
+let ratio_column ?(tolerance = 1e-9) table ~col ~label =
+  let failures = ref [] in
+  let checks = ref 0 in
+  Array.iteri
+    (fun i r ->
+      incr checks;
+      if r > 1. +. tolerance then
+        failures :=
+          Printf.sprintf "%s: row %d ratio %.6f > 1" label i r :: !failures)
+    (Table.column_floats table ~col);
+  (!checks, List.rev !failures)
+
+let error_column ?(limit = 1e-9) table ~col ~label =
+  let failures = ref [] in
+  let checks = ref 0 in
+  Array.iteri
+    (fun i e ->
+      incr checks;
+      if e > limit then
+        failures := Printf.sprintf "%s: row %d error %g" label i e :: !failures)
+    (Table.column_floats table ~col);
+  (!checks, List.rev !failures)
+
+let bool_column table ~col ~label =
+  let failures = ref [] in
+  let checks = ref 0 in
+  List.iteri
+    (fun i row ->
+      match List.nth_opt row col with
+      | Some (Table.Bool b) ->
+          incr checks;
+          if not b then
+            failures := Printf.sprintf "%s: row %d is 'no'" label i :: !failures
+      | Some _ | None -> ())
+    table.Table.rows;
+  (!checks, List.rev !failures)
+
+(* Conditional ratio check: ratio column <= 1 whenever a companion bool
+   column ("applies") is true. *)
+let conditional_ratio table ~ratio_col ~cond_col ~label =
+  let failures = ref [] in
+  let checks = ref 0 in
+  List.iteri
+    (fun i row ->
+      match (List.nth_opt row ratio_col, List.nth_opt row cond_col) with
+      | Some (Table.Float r), Some (Table.Bool true) ->
+          incr checks;
+          if r > 1. +. 1e-9 then
+            failures :=
+              Printf.sprintf "%s: row %d ratio %.6f > 1" label i r :: !failures
+      | _, _ -> ())
+    table.Table.rows;
+  (!checks, List.rev !failures)
+
+let combine parts =
+  List.fold_left
+    (fun (c, f) (c', f') -> (c + c', f @ f'))
+    (0, []) parts
+
+let check_f1 = function
+  | [ t ] ->
+      combine
+        [
+          conditional_ratio t ~ratio_col:3 ~cond_col:4 ~label:"Lemma 5.1";
+          conditional_ratio t ~ratio_col:6 ~cond_col:7 ~label:"Lemma 4.2 (slack)";
+        ]
+  | _ -> (0, [ "F1: unexpected table count" ])
+
+let check_f2 = function
+  | [ moments; xs ] ->
+      combine
+        [
+          ratio_column moments ~col:6 ~label:"Lemma 5.5";
+          ratio_column xs ~col:5 ~label:"Prop 5.2";
+        ]
+  | _ -> (0, [ "F2: unexpected table count" ])
+
+let check_f3 = function
+  | [ t ] -> ratio_column t ~col:6 ~label:"KKL"
+  | _ -> (0, [ "F3: unexpected table count" ])
+
+let check_f5 = function
+  | [ t ] -> bool_column t ~col:5 ~label:"Lemma 4.4 at C=4"
+  | _ -> (0, [ "F5: unexpected table count" ])
+
+let check_t8 = function
+  | [ t ] ->
+      combine
+        [
+          error_column t ~col:2 ~label:"Claim 3.1";
+          error_column t ~col:3 ~label:"Lemma 4.1";
+          error_column t ~col:4 ~label:"interchange";
+        ]
+  | _ -> (0, [ "T8: unexpected table count" ])
+
+let check_f7 = function
+  | [ t ] ->
+      (* Data processing: refining the message never loses divergence,
+         so every gain-over-1-bit is >= 1. *)
+      let failures = ref [] in
+      let checks = ref 0 in
+      Array.iteri
+        (fun i g ->
+          incr checks;
+          if g < 1. -. 1e-9 then
+            failures :=
+              Printf.sprintf "F7: row %d gain %.6f < 1 (data processing violated)" i g
+              :: !failures)
+        (Table.column_floats t ~col:4);
+      (!checks, List.rev !failures)
+  | _ -> (0, [ "F7: unexpected table count" ])
+
+let check_t11 = function
+  | [ t ] ->
+      combine
+        [
+          bool_column t ~col:5 ~label:"KL within budget";
+          bool_column t ~col:6 ~label:"Fact 6.3";
+        ]
+  | _ -> (0, [ "T11: unexpected table count" ])
+
+let checkers =
+  [
+    ("F1-lemma51", check_f1);
+    ("F2-moments", check_f2);
+    ("F3-kkl", check_f3);
+    ("F5-lemma44", check_f5);
+    ("F7-rbit-divergence", check_f7);
+    ("T8-combinatorics", check_t8);
+    ("T11-divergence", check_t11);
+  ]
+
+let checked_ids = List.map fst checkers
+
+let verify_one cfg id =
+  match (Registry.find id, List.assoc_opt id checkers) with
+  | Some exp, Some checker ->
+      let tables = exp.Exp.run cfg in
+      let checks, failures = checker tables in
+      Some { experiment = id; checks; failures }
+  | _, _ -> None
+
+let verify_all cfg = List.filter_map (verify_one cfg) checked_ids
+
+let all_passed verdicts = List.for_all (fun v -> v.failures = []) verdicts

@@ -1,0 +1,22 @@
+(** The paper checker: run every {e exact} experiment and assert its
+    inequalities programmatically.
+
+    Monte-Carlo experiments (T1–T7, …) produce shapes a human reads;
+    the exact experiments (F1/F2/F3/F5, T8, T11) produce inequalities a
+    machine can check. This module runs them and turns each table into
+    pass/fail verdicts, so `dut verify` can answer "do the paper's
+    finite claims hold?" with an exit code. *)
+
+type verdict = { experiment : string; checks : int; failures : string list }
+
+val verify_one : Config.t -> string -> verdict option
+(** Run one exact experiment by id and check its invariants; [None] for
+    ids without registered checks. *)
+
+val verify_all : Config.t -> verdict list
+(** Run every exact experiment with registered checks. *)
+
+val checked_ids : string list
+(** The experiments `verify` covers. *)
+
+val all_passed : verdict list -> bool

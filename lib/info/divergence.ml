@@ -1,0 +1,24 @@
+let kl_bits p q = Dut_dist.Distance.kl p q
+
+let kl_product ds = List.fold_left ( +. ) 0. ds
+
+let kl_bernoulli ~alpha ~beta = Dut_dist.Distance.kl_bernoulli alpha beta
+
+let chi2_bound ~alpha ~beta = Dut_dist.Distance.chi2_bernoulli_bound alpha beta
+
+let log2 x = log x /. log 2.
+
+let success_divergence_requirement ~delta =
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Divergence.success_divergence_requirement: delta out of (0,1)";
+  0.1 *. log2 (1. /. delta)
+
+let required_divergence_per_player ~k ~delta =
+  if k <= 0 then invalid_arg "Divergence.required_divergence_per_player: k <= 0";
+  success_divergence_requirement ~delta /. float_of_int k
+
+let divergence_budget_bound ~q ~n ~eps =
+  let qf = float_of_int q and nf = float_of_int n in
+  ((20. *. qf *. qf *. (eps ** 4.) /. nf) +. (qf *. eps *. eps /. nf)) /. log 2.
+
+let pinsker_tv_bound ~kl_bits = sqrt (log 2. *. kl_bits /. 2.)

@@ -1,0 +1,39 @@
+(** The information-theoretic toolkit of Section 6.
+
+    The lower-bound argument converts a referee's success requirement into
+    a KL-divergence budget, splits it across players by additivity
+    (Fact 6.2), and bounds each player's share through the χ² bound
+    (Fact 6.3). This module implements each step as an executable
+    function, in bits (base-2 logs) as in the paper. *)
+
+val kl_bits : Dut_dist.Pmf.t -> Dut_dist.Pmf.t -> float
+(** D(P ‖ Q) in bits. Alias of {!Dut_dist.Distance.kl}. *)
+
+val kl_product : float list -> float
+(** Additivity (Fact 6.2): the divergence of a product of independent
+    coordinates is the sum of coordinate divergences. [kl_product ds]
+    simply sums — provided so call sites read like the paper's (9). *)
+
+val kl_bernoulli : alpha:float -> beta:float -> float
+(** D(B(α) ‖ B(β)) in bits. *)
+
+val chi2_bound : alpha:float -> beta:float -> float
+(** Fact 6.3: (α − β)² / (var(B(β))·ln 2) ≥ D(B(α) ‖ B(β)) for
+    α, β ∈ (0,1). *)
+
+val success_divergence_requirement : delta:float -> float
+(** The divergence a protocol's message distributions must exhibit to
+    succeed with probability 1 − δ: the paper's (1/10)·log(1/δ) threshold
+    from the proof of Theorem 6.1 (bits). *)
+
+val required_divergence_per_player : k:int -> delta:float -> float
+(** (10): the average player must contribute at least
+    log(1/δ) / (10·k) bits. *)
+
+val divergence_budget_bound : q:int -> n:int -> eps:float -> float
+(** (12): the most a q-sample player can contribute, by Lemma 4.2 +
+    Fact 6.3: (20·q²ε⁴/n + qε²/n) / ln 2. *)
+
+val pinsker_tv_bound : kl_bits:float -> float
+(** Pinsker: TV(P,Q) ≤ √(ln 2 · kl_bits / 2). Used by tests to relate the
+    divergence measures. *)

@@ -1,0 +1,52 @@
+(** Referee-free vote aggregation by push-sum gossip (Kempe–Dobra–
+    Gehrke).
+
+    The paper's locality question has two poles: the AND rule (one alarm
+    wire, no aggregation) and the global referee. Gossip sits between —
+    {e no} referee, no tree, no single point of failure: every node
+    repeatedly splits its (value, weight) pair and pushes half to a
+    random neighbor; the value/weight ratio at every node converges to
+    the network average. Applied to the reject votes, each node learns
+    the reject {e fraction} and applies the calibrated cutoff itself, so
+    the whole network reaches the referee's verdict without a referee.
+    The price is rounds: convergence needs O(mixing time · log(1/tol))
+    rounds instead of the tree's 2·height. *)
+
+val push_sum :
+  graph:Graph.t ->
+  rng:Dut_prng.Rng.t ->
+  values:float array ->
+  rounds:int ->
+  float array
+(** [push_sum ~graph ~rng ~values ~rounds] returns each node's estimate
+    of the average of [values] after [rounds] synchronous push-sum
+    rounds.
+
+    @raise Invalid_argument if the value count differs from the node
+    count or rounds < 0. *)
+
+val rounds_to_tolerance :
+  graph:Graph.t ->
+  rng:Dut_prng.Rng.t ->
+  values:float array ->
+  tol:float ->
+  max_rounds:int ->
+  int option
+(** The first round count at which {e every} node's estimate is within
+    [tol] (absolute) of the true average — measured by re-running, so
+    the returned count is a faithful sample of the protocol's behavior
+    on this topology. [None] if [max_rounds] doesn't reach it. *)
+
+val decentralized_tester :
+  graph:Graph.t ->
+  n:int ->
+  eps:float ->
+  q:int ->
+  gossip_rounds:int ->
+  calibration_trials:int ->
+  rng:Dut_prng.Rng.t ->
+  Dut_core.Evaluate.tester
+(** The refereeless uniformity tester: midpoint votes, push-sum of the
+    votes, every node compares its estimated reject fraction to the
+    calibrated cutoff; the tester's verdict is the {e majority} of the
+    per-node verdicts (they agree once gossip has mixed). *)

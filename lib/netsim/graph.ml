@@ -1,0 +1,141 @@
+type t = { n : int; adj : int list array; edges : int }
+
+let check_node t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph: node out of range"
+
+let create n edges =
+  if n <= 0 then invalid_arg "Graph.create: n must be positive";
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.create: endpoint out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
+      Hashtbl.add seen key ();
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { n; adj; edges = List.length edges }
+
+let n t = t.n
+
+let edge_count t = t.edges
+
+let neighbors t v =
+  check_node t v;
+  t.adj.(v)
+
+let degree t v = List.length (neighbors t v)
+
+let mem_edge t u v =
+  check_node t u;
+  check_node t v;
+  List.mem v t.adj.(u)
+
+let path n = create n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph.cycle: need n >= 3";
+  create n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n = create n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  create n !edges
+
+let grid rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Graph.grid: bad dimensions";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  create (rows * cols) !edges
+
+let binary_tree n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    if (2 * i) + 1 < n then edges := (i, (2 * i) + 1) :: !edges;
+    if (2 * i) + 2 < n then edges := (i, (2 * i) + 2) :: !edges
+  done;
+  create n !edges
+
+let random_connected rng ~n ~extra_edges =
+  if n <= 0 then invalid_arg "Graph.random_connected: n must be positive";
+  (* Random attachment tree guarantees connectivity. *)
+  let edges = ref [] in
+  let seen = Hashtbl.create (n + extra_edges) in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v) :: !edges;
+      true
+    end
+    else false
+  in
+  for v = 1 to n - 1 do
+    ignore (add v (Dut_prng.Rng.int rng v))
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_extra = (n * (n - 1) / 2) - (n - 1) in
+  let target = min extra_edges max_extra in
+  while !added < target && !attempts < 100 * (target + 1) do
+    incr attempts;
+    let u = Dut_prng.Rng.int rng n and v = Dut_prng.Rng.int rng n in
+    if add u v then incr added
+  done;
+  create n !edges
+
+let bfs t ~root =
+  check_node t root;
+  let dist = Array.make t.n max_int in
+  let parent = Array.make t.n (-1) in
+  let queue = Queue.create () in
+  dist.(root) <- 0;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      t.adj.(u)
+  done;
+  (dist, parent)
+
+let is_connected t =
+  let dist, _ = bfs t ~root:0 in
+  Array.for_all (fun d -> d < max_int) dist
+
+let eccentricity t v =
+  let dist, _ = bfs t ~root:v in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Graph.eccentricity: disconnected graph"
+      else max acc d)
+    0 dist
+
+let diameter t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := max !best (eccentricity t v)
+  done;
+  !best

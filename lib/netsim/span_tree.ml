@@ -1,0 +1,35 @@
+type t = {
+  root : int;
+  parent : int array;
+  children : int list array;
+  depth : int array;
+  height : int;
+}
+
+let of_graph g ~root =
+  let dist, parent = Graph.bfs g ~root in
+  if Array.exists (fun d -> d = max_int) dist then
+    invalid_arg "Span_tree.of_graph: disconnected graph";
+  let k = Graph.n g in
+  let children = Array.make k [] in
+  for v = 0 to k - 1 do
+    if parent.(v) >= 0 then children.(parent.(v)) <- v :: children.(parent.(v))
+  done;
+  Array.iteri (fun i l -> children.(i) <- List.sort compare l) children;
+  { root; parent; children; depth = dist; height = Array.fold_left max 0 dist }
+
+let subtree_sizes t =
+  let k = Array.length t.parent in
+  let sizes = Array.make k 1 in
+  (* Process nodes by decreasing depth: children before parents. *)
+  let order = Array.init k Fun.id in
+  Array.sort (fun a b -> compare t.depth.(b) t.depth.(a)) order;
+  Array.iter
+    (fun v -> if t.parent.(v) >= 0 then sizes.(t.parent.(v)) <- sizes.(t.parent.(v)) + sizes.(v))
+    order;
+  sizes
+
+let rec is_ancestor t a v =
+  if v = a then true
+  else if t.parent.(v) < 0 then false
+  else is_ancestor t a t.parent.(v)

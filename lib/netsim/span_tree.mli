@@ -1,0 +1,21 @@
+(** Rooted BFS spanning trees: the aggregation skeleton of the
+    LOCAL-model tester. *)
+
+type t = {
+  root : int;
+  parent : int array;  (** -1 for the root *)
+  children : int list array;
+  depth : int array;
+  height : int;  (** max depth — the convergecast round count *)
+}
+
+val of_graph : Graph.t -> root:int -> t
+(** BFS spanning tree.
+
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val subtree_sizes : t -> int array
+(** Number of nodes in each node's subtree (itself included). *)
+
+val is_ancestor : t -> int -> int -> bool
+(** [is_ancestor t a v] — is [a] on the root path of [v] (reflexive)? *)

@@ -1,0 +1,124 @@
+type t = {
+  gen : Xoshiro.t;
+  (* Splitting is delegated to a SplitMix64 stream carried alongside the
+     main generator, so child seeds never collide with output bits. *)
+  splitter : Splitmix.t;
+}
+
+let of_int64 seed =
+  {
+    gen = Xoshiro.create seed;
+    splitter = Splitmix.create (Splitmix.mix (Int64.lognot seed));
+  }
+
+let create seed = of_int64 (Int64.of_int seed)
+
+let split t =
+  let child_seed = Splitmix.next_int64 t.splitter in
+  of_int64 child_seed
+
+let split_n t k = Array.init k (fun _ -> split t)
+
+let bits64 t = Xoshiro.next_int64 t.gen
+
+(* Lemire's nearly-divisionless unbiased bounded generation, specialised to
+   OCaml's 63-bit ints. We draw 64 bits, keep the low 63 (non-negative as an
+   OCaml int), and reject into the unbiased range. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Power-of-two mask covering the bound, then rejection: unbiased and
+     fast (expected < 2 draws). *)
+  let rec mask_of m = if m >= bound - 1 then m else mask_of ((m lsl 1) lor 1) in
+  let mask = mask_of 1 in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) 0x7FFFFFFFFFFFFFFFL) land mask in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let float t bound = bound *. unit_float t
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let sign t = if bool t then 1 else -1
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else unit_float t < p
+
+let binomial t n p =
+  if n < 0 then invalid_arg "Rng.binomial: negative n";
+  if p <= 0. then 0
+  else if p >= 1. then n
+  else if float_of_int n *. p < 32. then begin
+    (* Waiting-time method: sum geometric gaps between successes. *)
+    let log1mp = log1p (-.p) in
+    let count = ref 0 and pos = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let u = 1. -. unit_float t in
+      let gap = int_of_float (floor (log u /. log1mp)) in
+      pos := !pos + gap + 1;
+      if !pos <= n then incr count else continue := false
+    done;
+    !count
+  end
+  else begin
+    (* Direct trial loop; only used when n*p is large and n is moderate in
+       this project (players draw at most a few thousand samples). *)
+    let count = ref 0 in
+    for _ = 1 to n do
+      if unit_float t < p then incr count
+    done;
+    !count
+  end
+
+let poisson t lambda =
+  if lambda < 0. then invalid_arg "Rng.poisson: negative lambda";
+  if lambda = 0. then 0
+  else if lambda <= 30. then begin
+    (* Knuth: count factors until the product of uniforms drops under
+       e^-lambda. *)
+    let limit = exp (-.lambda) in
+    let rec go k prod =
+      let prod = prod *. unit_float t in
+      if prod <= limit then k else go (k + 1) prod
+    in
+    go 0 1.
+  end
+  else begin
+    (* Normal approximation via Box-Muller, good to ~1% tail error at
+       lambda > 30, ample for calibration workloads. *)
+    let u1 = 1. -. unit_float t and u2 = unit_float t in
+    let gauss = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    max 0 (int_of_float (Float.round (lambda +. (sqrt lambda *. gauss))))
+  end
+
+let geometric t p =
+  if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p out of (0,1]";
+  if p = 1. then 0
+  else
+    let u = 1. -. unit_float t in
+    int_of_float (floor (log u /. log1p (-.p)))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let rademacher_vector t m = Array.init m (fun _ -> sign t)

@@ -1,0 +1,87 @@
+(** The project-wide random source.
+
+    A thin, allocation-light layer over {!Xoshiro} that adds the sampling
+    primitives the simulators need: bounded integers, floats, Bernoulli /
+    binomial / geometric draws, shuffles — and {e splitting}, which gives
+    every player in a distributed protocol its own independent stream so
+    that whole protocol executions are reproducible from one root seed. *)
+
+type t
+(** Mutable random source. *)
+
+val create : int -> t
+(** [create seed] builds a source from an integer seed. Equal seeds give
+    identical streams. *)
+
+val of_int64 : int64 -> t
+(** Like {!create} with the full 64-bit seed space. *)
+
+val split : t -> t
+(** [split t] derives a child source. The child's stream is independent of
+    the parent's subsequent draws: used to give each player in a protocol a
+    private coin sequence. *)
+
+val split_n : t -> int -> t array
+(** [split_n t k] is [k] children, one per player. *)
+
+val bits64 : t -> int64
+(** 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0 .. bound-1], unbiased (power-of-two
+    mask + rejection).
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on [lo .. hi] inclusive.
+
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [0, bound) with 53 random mantissa
+    bits. *)
+
+val unit_float : t -> float
+(** Uniform on [0, 1). *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val sign : t -> int
+(** Uniform on {-1, +1}: a Rademacher draw, used for perturbation
+    vectors z. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val binomial : t -> int -> float -> int
+(** [binomial t n p] counts successes among [n] independent [bernoulli p]
+    trials. Uses inversion for small [n*p] and a waiting-time method
+    otherwise; exact in distribution either way. *)
+
+val poisson : t -> float -> int
+(** [poisson t lambda] draws from Poisson(λ): Knuth's product method for
+    λ ≤ 30, normal approximation with continuity correction (clamped at
+    0) beyond. Poissonized sampling makes per-element counts independent
+    — the classical device of the distribution-testing literature.
+
+    @raise Invalid_argument if λ < 0. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of a
+    Bernoulli([p]) sequence (support 0, 1, 2, ...).
+
+    @raise Invalid_argument if [p <= 0. || p > 1.]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element.
+
+    @raise Invalid_argument on an empty array. *)
+
+val rademacher_vector : t -> int -> int array
+(** [rademacher_vector t m] is an array of [m] independent uniform
+    {-1,+1} entries — the perturbation vector z of the hard family. *)

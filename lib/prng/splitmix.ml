@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let next_state s = Int64.add s golden_gamma
+
+(* Stafford's "mix13" finalizer, the output function of SplitMix64. *)
+let mix s =
+  let s = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let s = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 27)) 0x94D049BB133111EBL in
+  Int64.logxor s (Int64.shift_right_logical s 31)
+
+let next_int64 t =
+  t.state <- next_state t.state;
+  mix t.state
+
+(* For splitting we use a second finalizer on the advanced state so the
+   child's seed is decorrelated from the parent's output at the same
+   state. *)
+let mix_gamma s =
+  let g = Int64.logor (mix (Int64.logxor s 0xA5A5A5A5A5A5A5A5L)) 1L in
+  g
+
+let split t =
+  let seed = next_int64 t in
+  t.state <- next_state t.state;
+  let gamma_source = mix_gamma t.state in
+  create (Int64.logxor seed gamma_source)

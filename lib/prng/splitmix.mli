@@ -1,0 +1,34 @@
+(** SplitMix64 pseudo-random number generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast, splittable generator with a 64-bit state. It passes
+    BigCrush when used as a stream and, crucially for this project, supports
+    {e splitting}: deriving statistically independent child generators from
+    a parent. We use it both as a stand-alone generator and as the seeding
+    mechanism for {!Dut_prng.Xoshiro}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Distinct seeds give streams that
+    are independent for all practical purposes. *)
+
+val copy : t -> t
+(** [copy t] is a generator with the same state that evolves independently
+    from [t] afterwards. *)
+
+val next_int64 : t -> int64
+(** [next_int64 t] advances the state and returns 64 uniformly random
+    bits. *)
+
+val next_state : int64 -> int64
+(** [next_state s] is the raw state transition (adds the golden-gamma
+    constant). Exposed for testing and for stateless derivations. *)
+
+val mix : int64 -> int64
+(** [mix s] is the SplitMix64 output function (variant "mix13" of
+    Stafford). A high-quality 64-bit finalizer; also useful as a hash. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a child generator whose stream is
+    independent of the parent's subsequent outputs. *)

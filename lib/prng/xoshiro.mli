@@ -1,0 +1,27 @@
+(** xoshiro256++ pseudo-random number generator (Blackman & Vigna 2019).
+
+    256 bits of state, period 2^256 − 1, excellent statistical quality and
+    very fast. This is the workhorse generator behind {!Dut_prng.Rng}; it is
+    seeded from {!Dut_prng.Splitmix} as its authors recommend. *)
+
+type t
+(** Mutable generator state. Never all-zero. *)
+
+val create : int64 -> t
+(** [create seed] seeds the four state words from a SplitMix64 stream
+    started at [seed]. *)
+
+val of_state : int64 -> int64 -> int64 -> int64 -> t
+(** [of_state s0 s1 s2 s3] builds a generator from raw state words.
+
+    @raise Invalid_argument if all four words are zero. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next_int64 : t -> int64
+(** 64 fresh uniformly random bits. *)
+
+val jump : t -> unit
+(** [jump t] advances [t] by 2^128 steps; used to derive long
+    non-overlapping subsequences from a single stream. *)

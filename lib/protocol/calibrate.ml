@@ -1,0 +1,18 @@
+let null_quantile ~trials rng ~stat ~p =
+  if trials <= 0 then invalid_arg "Calibrate.null_quantile: trials <= 0";
+  let draws = Array.init trials (fun _ -> stat (Dut_prng.Rng.split rng)) in
+  Dut_stats.Summary.quantile draws p
+
+let reject_count_cutoff ~trials rng ~rejects ~level =
+  if trials <= 0 then invalid_arg "Calibrate.reject_count_cutoff: trials <= 0";
+  if level <= 0. || level >= 1. then
+    invalid_arg "Calibrate.reject_count_cutoff: level out of (0,1)";
+  let draws = Array.init trials (fun _ -> rejects (Dut_prng.Rng.split rng)) in
+  Array.sort compare draws;
+  (* Smallest t with #(draws >= t) / trials <= level; scanning from the
+     top of the sorted array. *)
+  let budget = int_of_float (floor (level *. float_of_int trials)) in
+  (* draws.(trials - budget - 1) is the largest value with more than
+     [budget] draws at or above it; cutoff is one more. *)
+  let idx = trials - budget - 1 in
+  if idx < 0 then 1 else draws.(idx) + 1

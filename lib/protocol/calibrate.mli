@@ -1,0 +1,26 @@
+(** Referee calibration against the null hypothesis.
+
+    A deployed tester knows the null (the uniform distribution), so it can
+    set its cutoffs by simulating itself under the null — standard
+    practice, and the only "training" any tester here gets. Calibration
+    always runs on a dedicated RNG stream, so calibration draws never
+    overlap evaluation draws. *)
+
+val null_quantile :
+  trials:int -> Dut_prng.Rng.t -> stat:(Dut_prng.Rng.t -> float) -> p:float -> float
+(** [null_quantile ~trials rng ~stat ~p] simulates the statistic under
+    the null [trials] times and returns its empirical [p]-quantile.
+
+    @raise Invalid_argument if [trials <= 0] or p ∉ [0,1]. *)
+
+val reject_count_cutoff :
+  trials:int ->
+  Dut_prng.Rng.t ->
+  rejects:(Dut_prng.Rng.t -> int) ->
+  level:float ->
+  int
+(** [reject_count_cutoff ~trials rng ~rejects ~level] returns the
+    smallest integer cutoff [t] such that the empirical null probability
+    of seeing ≥ [t] rejections is at most [level]. A referee rejecting
+    iff the reject count reaches [t] then has empirical false-alarm rate
+    ≤ [level]. *)

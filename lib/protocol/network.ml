@@ -1,0 +1,45 @@
+type source = Dut_prng.Rng.t -> int
+
+type player = index:int -> Dut_prng.Rng.t -> int array -> bool
+
+type 'm messenger = index:int -> Dut_prng.Rng.t -> int array -> 'm
+
+type transcript = { votes : bool array; accept : bool }
+
+let draw_samples rng source q = Array.init q (fun _ -> source rng)
+
+let round_rates ~rng ~source ~qs ~player ~rule =
+  let k = Array.length qs in
+  if k <= 0 then invalid_arg "Network.round_rates: no players";
+  Array.iter (fun q -> if q < 0 then invalid_arg "Network.round_rates: negative q") qs;
+  let votes =
+    Array.init k (fun i ->
+        let coins = Dut_prng.Rng.split rng in
+        let samples = draw_samples coins source qs.(i) in
+        player ~index:i coins samples)
+  in
+  { votes; accept = Rule.apply rule votes }
+
+let round ~rng ~source ~k ~q ~player ~rule =
+  if k <= 0 then invalid_arg "Network.round: k must be positive";
+  if q < 0 then invalid_arg "Network.round: q must be non-negative";
+  round_rates ~rng ~source ~qs:(Array.make k q) ~player ~rule
+
+let round_messages ~rng ~source ~k ~q ~messenger ~referee =
+  if k <= 0 then invalid_arg "Network.round_messages: k must be positive";
+  if q < 0 then invalid_arg "Network.round_messages: q must be non-negative";
+  let messages =
+    Array.init k (fun i ->
+        let coins = Dut_prng.Rng.split rng in
+        let samples = draw_samples coins source q in
+        messenger ~index:i coins samples)
+  in
+  referee messages
+
+let of_sampler s rng = Dut_dist.Sampler.draw s rng
+
+let of_paninski d rng = Dut_dist.Paninski.draw d rng
+
+let uniform_source ~n =
+  if n <= 0 then invalid_arg "Network.uniform_source: n must be positive";
+  fun rng -> Dut_prng.Rng.int rng n

@@ -1,0 +1,23 @@
+type t = { estimate : float; lower : float; upper : float }
+
+let wilson ~successes ~trials ~z =
+  if trials <= 0 then invalid_arg "Binomial_ci.wilson: trials <= 0";
+  if successes < 0 || successes > trials then
+    invalid_arg "Binomial_ci.wilson: inconsistent counts";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n)))
+  in
+  { estimate = p; lower = Float.max 0. (center -. half); upper = Float.min 1. (center +. half) }
+
+let wilson95 ~successes ~trials = wilson ~successes ~trials ~z:1.96
+
+let lower_bound_clears ~successes ~trials ~threshold =
+  (wilson95 ~successes ~trials).lower > threshold
+
+let upper_bound_below ~successes ~trials ~threshold =
+  (wilson95 ~successes ~trials).upper < threshold

@@ -1,0 +1,23 @@
+(** Wilson score confidence intervals for Bernoulli proportions.
+
+    Every success-probability estimate in the experiment harness carries a
+    Wilson interval so "the tester succeeds with probability ≥ 2/3" is a
+    statistically defensible claim rather than a point estimate. *)
+
+type t = { estimate : float; lower : float; upper : float }
+
+val wilson : successes:int -> trials:int -> z:float -> t
+(** [wilson ~successes ~trials ~z] is the Wilson score interval at
+    normal-quantile [z] (e.g. 1.96 for 95%).
+
+    @raise Invalid_argument if [trials <= 0] or counts are inconsistent. *)
+
+val wilson95 : successes:int -> trials:int -> t
+(** {!wilson} at z = 1.96. *)
+
+val lower_bound_clears : successes:int -> trials:int -> threshold:float -> bool
+(** Does the 95% lower confidence bound exceed [threshold]? Used by the
+    critical-q search to declare a sample size sufficient. *)
+
+val upper_bound_below : successes:int -> trials:int -> threshold:float -> bool
+(** Does the 95% upper confidence bound fall below [threshold]? *)

@@ -1,0 +1,42 @@
+type interval = { estimate : float; lower : float; upper : float }
+
+let percentile_interval ~confidence draws ~estimate =
+  let tail = (1. -. confidence) /. 2. in
+  {
+    estimate;
+    lower = Summary.quantile draws tail;
+    upper = Summary.quantile draws (1. -. tail);
+  }
+
+let resample rng points =
+  let n = Array.length points in
+  Array.init n (fun _ -> points.(Dut_prng.Rng.int rng n))
+
+let exponent_ci ?(resamples = 1000) ?(confidence = 0.9) rng points =
+  if Array.length points < 3 then
+    invalid_arg "Bootstrap.exponent_ci: need at least 3 points";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Bootstrap.exponent_ci: confidence out of (0,1)";
+  let estimate = Fit.power_law_exponent points in
+  let draws = ref [] in
+  let attempts = ref 0 in
+  while List.length !draws < resamples && !attempts < 10 * resamples do
+    incr attempts;
+    let sample = resample rng points in
+    (* A resample with no x-variation cannot be fitted; skip it. *)
+    match Fit.power_law_exponent sample with
+    | slope -> draws := slope :: !draws
+    | exception Invalid_argument _ -> ()
+  done;
+  if !draws = [] then { estimate; lower = Float.nan; upper = Float.nan }
+  else percentile_interval ~confidence (Array.of_list !draws) ~estimate
+
+let mean_ci ?(resamples = 1000) ?(confidence = 0.9) rng values =
+  if Array.length values = 0 then invalid_arg "Bootstrap.mean_ci: empty sample";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Bootstrap.mean_ci: confidence out of (0,1)";
+  let estimate = Summary.mean values in
+  let draws =
+    Array.init resamples (fun _ -> Summary.mean (resample rng values))
+  in
+  percentile_interval ~confidence draws ~estimate

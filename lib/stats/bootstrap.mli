@@ -1,0 +1,29 @@
+(** Bootstrap confidence intervals for fitted quantities.
+
+    The experiment tables report fitted power-law exponents; a point
+    estimate from 4–9 noisy points deserves an uncertainty. Resampling
+    the points with replacement and refitting gives the standard
+    percentile bootstrap interval. *)
+
+type interval = { estimate : float; lower : float; upper : float }
+
+val exponent_ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  Dut_prng.Rng.t ->
+  (float * float) array ->
+  interval
+(** [exponent_ci rng points] is the percentile bootstrap interval for
+    the log-log slope of [points]. Degenerate resamples (all-equal x)
+    are skipped. Defaults: 1000 resamples, 0.9 confidence.
+
+    @raise Invalid_argument with fewer than 3 points, or confidence
+    outside (0,1). *)
+
+val mean_ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  Dut_prng.Rng.t ->
+  float array ->
+  interval
+(** Percentile bootstrap interval for a sample mean. *)

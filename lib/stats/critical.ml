@@ -1,0 +1,22 @@
+let bracket_then_bisect ~lo ~hi ok =
+  if lo < 0 || hi < lo then invalid_arg "Critical.search: bad bounds";
+  (* Doubling phase: find the first power-of-two-scaled point that passes. *)
+  let rec double v prev =
+    if v >= hi then if ok hi then Some (prev, hi) else None
+    else if ok v then Some (prev, v)
+    else double (min hi ((2 * v) + 1)) v
+  in
+  match double lo (lo - 1) with
+  | None -> None
+  | Some (below, above) ->
+      (* Invariant: ok above = true; ok below = false (or below = lo-1). *)
+      let rec bisect below above =
+        if above - below <= 1 then above
+        else begin
+          let mid = below + ((above - below) / 2) in
+          if ok mid then bisect below mid else bisect mid above
+        end
+      in
+      Some (bisect below above)
+
+let search ?(lo = 1) ?(hi = 1 lsl 22) ok = bracket_then_bisect ~lo ~hi ok

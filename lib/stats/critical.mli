@@ -1,0 +1,20 @@
+(** Search for the critical value of a monotone resource parameter.
+
+    The empirical analogue of "sample complexity": the smallest per-player
+    sample count q at which a tester succeeds. The success predicate is
+    assumed monotone in the parameter (all implemented testers can ignore
+    extra samples, so more never hurts). The search brackets by doubling
+    and then bisects, so finding the critical value costs logarithmically
+    many predicate evaluations — each of which is typically a full
+    Monte-Carlo power estimate. *)
+
+val search : ?lo:int -> ?hi:int -> (int -> bool) -> int option
+(** [search ~lo ~hi ok] is the least [v] in [lo..hi] with [ok v], assuming
+    [ok] is monotone (false … false true … true); [None] if [ok hi] is
+    false. Defaults: [lo = 1], [hi = 1 lsl 22]. Evaluates [ok] O(log)
+    times via doubling + bisection.
+
+    @raise Invalid_argument if [lo < 0] or [hi < lo]. *)
+
+val bracket_then_bisect : lo:int -> hi:int -> (int -> bool) -> int option
+(** Same as {!search} with explicit bounds; exposed for testing. *)

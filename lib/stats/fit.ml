@@ -1,0 +1,26 @@
+type t = { slope : float; intercept : float; r2 : float }
+
+let linear pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Fit.linear: need at least 2 points";
+  let nf = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let mx = sx /. nf and my = sy /. nf in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. ((x -. mx) *. (x -. mx))) 0. pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0. pts in
+  let syy = Array.fold_left (fun a (_, y) -> a +. ((y -. my) *. (y -. my))) 0. pts in
+  if sxx = 0. then invalid_arg "Fit.linear: zero x-variance";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy = 0. then 1. else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2 }
+
+let log_log pts =
+  Array.iter
+    (fun (x, y) ->
+      if x <= 0. || y <= 0. then invalid_arg "Fit.log_log: coordinates must be positive")
+    pts;
+  linear (Array.map (fun (x, y) -> (log x, log y)) pts)
+
+let power_law_exponent pts = (log_log pts).slope

@@ -1,0 +1,22 @@
+(** Least-squares fits used to recover scaling exponents from measured
+    tables: fitting q*(k) ~ C·k^b on a log-log scale turns Theorem 1.1's
+    prediction into "the fitted b is ≈ −1/2". *)
+
+type t = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination; 1 = perfect fit *)
+}
+
+val linear : (float * float) array -> t
+(** Ordinary least squares y = intercept + slope·x.
+
+    @raise Invalid_argument with fewer than 2 points or zero x-variance. *)
+
+val log_log : (float * float) array -> t
+(** Fit y = C·x^slope by OLS on (ln x, ln y); [intercept] is ln C.
+
+    @raise Invalid_argument if any coordinate is ≤ 0, or as {!linear}. *)
+
+val power_law_exponent : (float * float) array -> float
+(** Shorthand for [(log_log pts).slope]. *)

@@ -1,0 +1,13 @@
+(** Monte-Carlo estimation of event probabilities. *)
+
+val estimate_prob :
+  trials:int -> Dut_prng.Rng.t -> (Dut_prng.Rng.t -> bool) -> Binomial_ci.t
+(** [estimate_prob ~trials rng event] runs [event] on [trials] independent
+    child streams of [rng] and returns the Wilson 95% interval of the
+    success probability.
+
+    @raise Invalid_argument if [trials <= 0]. *)
+
+val estimate_mean :
+  trials:int -> Dut_prng.Rng.t -> (Dut_prng.Rng.t -> float) -> Summary.t
+(** Summary of [trials] evaluations of a random quantity. *)

@@ -1,0 +1,51 @@
+type t = {
+  count : int;
+  mean : float;
+  variance : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Summary.mean: empty array";
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a in
+    ss /. float_of_int (n - 1)
+  end
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Summary.of_array: empty array";
+  let m = mean a and v = variance a in
+  {
+    count = Array.length a;
+    mean = m;
+    variance = v;
+    std = sqrt v;
+    min = Array.fold_left Float.min a.(0) a;
+    max = Array.fold_left Float.max a.(0) a;
+  }
+
+let quantile a p =
+  if Array.length a = 0 then invalid_arg "Summary.quantile: empty array";
+  if p < 0. || p > 1. then invalid_arg "Summary.quantile: p out of [0,1]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let zscore ~null_mean ~null_std x =
+  if null_std > 0. then (x -. null_mean) /. null_std
+  else if x = null_mean then 0.
+  else if x > null_mean then infinity
+  else neg_infinity

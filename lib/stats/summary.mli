@@ -1,0 +1,26 @@
+(** Basic summary statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased (n−1) sample variance; 0 when count < 2 *)
+  std : float;
+  min : float;
+  max : float;
+}
+
+val of_array : float array -> t
+(** @raise Invalid_argument on an empty array. *)
+
+val mean : float array -> float
+val variance : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile a p] for p ∈ [0,1], by linear interpolation on the sorted
+    copy ("type 7"). Used for calibrating referee cutoffs from null runs.
+
+    @raise Invalid_argument on an empty array or p outside [0,1]. *)
+
+val zscore : null_mean:float -> null_std:float -> float -> float
+(** Standardized deviation from a null distribution; [infinity] when the
+    null std is 0 and the value differs from the mean, 0 when equal. *)

@@ -1,0 +1,100 @@
+let poisson_sf ~lambda c =
+  if lambda < 0. then invalid_arg "Tail.poisson_sf: negative lambda";
+  if c <= 0 then 1.
+  else if lambda = 0. then 0.
+  else begin
+    (* P[X >= c] = 1 - sum_{i<c} e^-l l^i / i!, accumulated in log space
+       free form via the running term. *)
+    let term = ref (exp (-.lambda)) in
+    let cdf = ref !term in
+    for i = 1 to c - 1 do
+      term := !term *. lambda /. float_of_int i;
+      cdf := !cdf +. !term
+    done;
+    Float.max 0. (1. -. !cdf)
+  end
+
+let poisson_isf ~lambda ~p =
+  if p <= 0. || p > 1. then invalid_arg "Tail.poisson_isf: p out of (0,1]";
+  let rec go c = if poisson_sf ~lambda c <= p then c else go (c + 1) in
+  go 0
+
+(* Abramowitz & Stegun 7.1.26. *)
+let erf x =
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429
+  and p = 0.3275911 in
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (p *. x)) in
+  let y =
+    1.
+    -. ((((((((a5 *. t) +. a4) *. t) +. a3) *. t) +. a2) *. t) +. a1)
+       *. t *. exp (-.x *. x)
+  in
+  sign *. y
+
+let normal_cdf x = 0.5 *. (1. +. erf (x /. sqrt 2.))
+
+let normal_sf x = 1. -. normal_cdf x
+
+let normal_isf p =
+  if p <= 1e-12 || p >= 1. then invalid_arg "Tail.normal_isf: p out of range";
+  let rec bisect lo hi i =
+    if i = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if normal_sf mid > p then bisect mid hi (i - 1) else bisect lo mid (i - 1)
+    end
+  in
+  bisect (-10.) 10. 100
+
+let binomial_sf ~k ~p t =
+  if k < 0 || p < 0. || p > 1. then invalid_arg "Tail.binomial_sf";
+  if t <= 0 then 1.
+  else if t > k then 0.
+  else if p = 0. then 0.
+  else if p = 1. then 1.
+  else begin
+    (* Sum the cdf below t in log space so extreme tails don't underflow
+       the whole computation (0.5^1024 is 0. in float). *)
+    let logfact = Array.make (k + 1) 0. in
+    for i = 2 to k do
+      logfact.(i) <- logfact.(i - 1) +. log (float_of_int i)
+    done;
+    let lp = log p and lq = log (1. -. p) in
+    let cdf = ref 0. in
+    for i = 0 to t - 1 do
+      let lpmf =
+        logfact.(k) -. logfact.(i) -. logfact.(k - i)
+        +. (float_of_int i *. lp)
+        +. (float_of_int (k - i) *. lq)
+      in
+      cdf := !cdf +. exp lpmf
+    done;
+    Float.max 0. (Float.min 1. (1. -. !cdf))
+  end
+
+let binomial_max_p ~k ~t ~level =
+  if t < 1 || t > k then invalid_arg "Tail.binomial_max_p: t outside [1,k]";
+  if level <= 0. || level >= 1. then invalid_arg "Tail.binomial_max_p: bad level";
+  let rec bisect lo hi i =
+    if i = 0 then lo
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if binomial_sf ~k ~p:mid t <= level then bisect mid hi (i - 1)
+      else bisect lo mid (i - 1)
+    end
+  in
+  bisect 0. 1. 30
+
+let count_cutoff ~mean ~p =
+  if mean < 0. then invalid_arg "Tail.count_cutoff: negative mean";
+  if mean <= 50. then poisson_isf ~lambda:mean ~p
+  else begin
+    let z = normal_isf p in
+    int_of_float (ceil (mean +. (z *. sqrt mean) +. 0.5))
+  end

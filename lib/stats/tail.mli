@@ -1,0 +1,53 @@
+(** Tail probabilities and tail quantiles of the reference distributions
+    used to set referee and player cutoffs.
+
+    Collision counts under the uniform distribution are (pairwise
+    independent) sums of rare indicators: Poisson in the sparse regime,
+    normal beyond. The AND- and small-threshold testers need {e extreme}
+    cutoffs (per-player false-alarm ≈ 1/k), which is exactly where
+    Monte-Carlo calibration would need ≫ k runs — so these closed forms
+    are what make those testers implementable. *)
+
+val poisson_sf : lambda:float -> int -> float
+(** [poisson_sf ~lambda c] = P[Poisson(λ) ≥ c]. Exact summation with
+    early termination; [1.] for c ≤ 0.
+
+    @raise Invalid_argument if λ < 0. *)
+
+val poisson_isf : lambda:float -> p:float -> int
+(** Smallest [c] with [poisson_sf ~lambda c <= p] — the one-sided upper
+    cutoff at false-alarm level [p].
+
+    @raise Invalid_argument if p ≤ 0 or p > 1. *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF Φ, via the Abramowitz–Stegun 7.1.26 erf
+    approximation (absolute error < 1.5e-7). *)
+
+val normal_sf : float -> float
+(** 1 − Φ. *)
+
+val normal_isf : float -> float
+(** [normal_isf p] is the z with [normal_sf z = p], by bisection
+    (robust for p ∈ (1e-12, 1)).
+
+    @raise Invalid_argument outside that range. *)
+
+val binomial_sf : k:int -> p:float -> int -> float
+(** [binomial_sf ~k ~p t] = P[Bin(k,p) ≥ t], by exact pmf summation.
+
+    @raise Invalid_argument if k < 0 or p outside [0,1]. *)
+
+val binomial_max_p : k:int -> t:int -> level:float -> float
+(** The largest success probability p such that
+    [binomial_sf ~k ~p t <= level] — the most detection-friendly
+    per-player alarm rate that still keeps a reject-iff-≥t referee's
+    false-alarm under [level]. Bisection to 1e-6.
+
+    @raise Invalid_argument if t outside [1,k] or level outside (0,1). *)
+
+val count_cutoff : mean:float -> p:float -> int
+(** One-sided upper cutoff for a count statistic with null mean [mean]:
+    the smallest integer c such that a count ≥ c has null probability
+    ≤ [p], using the Poisson model for mean ≤ 50 and a continuity-
+    corrected normal (variance = mean) beyond. *)

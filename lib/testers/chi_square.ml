@@ -1,0 +1,25 @@
+let statistic samples ~n =
+  let hist = Dut_dist.Empirical.create n in
+  Dut_dist.Empirical.add_all hist samples;
+  let m = float_of_int (Array.length samples) in
+  let expected = m /. float_of_int n in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let d = float_of_int (Dut_dist.Empirical.count hist i) -. expected in
+    acc := !acc +. (d *. d /. expected)
+  done;
+  !acc
+
+let expected_uniform ~n ~m =
+  ignore m;
+  float_of_int (n - 1)
+
+let cutoff ~n ~m ~eps =
+  expected_uniform ~n ~m +. (float_of_int m *. eps *. eps /. 2.)
+
+let test ~n ~eps samples =
+  let m = Array.length samples in
+  statistic samples ~n < cutoff ~n ~m ~eps
+
+let recommended_samples ~n ~eps =
+  int_of_float (ceil (5. *. sqrt (float_of_int n) /. (eps *. eps)))

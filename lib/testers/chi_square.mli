@@ -1,0 +1,25 @@
+(** Pearson χ² uniformity tester.
+
+    Statistic: Σ_i (c_i − m/n)² / (m/n) over the empirical counts c_i.
+    Under U_n its mean is exactly n−1 with standard deviation Θ(√n); an
+    ε-far distribution adds a bias term Σ_i m²(p_i − 1/n)²/(m/n) ≥ m·ε²
+    (Cauchy–Schwarz; equality for the matched-pair hard family).
+    Accepting below n−1 + m·ε²/2 therefore distinguishes the cases once
+    m·ε² dominates √n — the same Θ(√n/ε²) regime as the collision
+    tester, computed in a single pass. *)
+
+val statistic : int array -> n:int -> float
+(** The Pearson statistic of the sample histogram. *)
+
+val expected_uniform : n:int -> m:int -> float
+(** Null mean of the statistic: exactly n−1 under the multinomial null
+    (Σ var(c_i)/(m/n) with var(c_i) = m·(1/n)(1−1/n)). *)
+
+val cutoff : n:int -> m:int -> eps:float -> float
+(** Acceptance cutoff n−1 + m·ε²/2. *)
+
+val test : n:int -> eps:float -> int array -> bool
+(** [true] = "looks uniform". *)
+
+val recommended_samples : n:int -> eps:float -> int
+(** Empirically sufficient sample count, 5·√n/ε². *)

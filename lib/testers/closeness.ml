@@ -1,0 +1,25 @@
+let statistic ~n xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Closeness.statistic: sample counts differ";
+  let hx = Dut_dist.Empirical.of_samples ~n xs in
+  let hy = Dut_dist.Empirical.of_samples ~n ys in
+  let z = ref 0. in
+  for i = 0 to n - 1 do
+    let x = float_of_int (Dut_dist.Empirical.count hx i) in
+    let y = float_of_int (Dut_dist.Empirical.count hy i) in
+    z := !z +. (((x -. y) *. (x -. y)) -. x -. y)
+  done;
+  !z
+
+let expected_far ~n ~m ~eps =
+  float_of_int m *. float_of_int (m - 1) *. eps *. eps /. (2. *. float_of_int n)
+
+let cutoff ~n ~m ~eps = expected_far ~n ~m ~eps /. 2.
+
+let test ~n ~eps xs ys =
+  let m = Array.length xs in
+  statistic ~n xs ys < cutoff ~n ~m ~eps
+
+let recommended_samples ~n ~eps =
+  int_of_float
+    (ceil (6. *. (float_of_int n ** (2. /. 3.)) /. (eps ** (4. /. 3.))))

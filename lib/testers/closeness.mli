@@ -1,0 +1,37 @@
+(** Closeness testing: are two unknown distributions equal or ε-far?
+
+    The paper's introduction lists closeness testing among the problems
+    that contain uniformity testing as a special case (take one of the
+    two distributions to be — or to be known to be — uniform), so lower
+    bounds on uniformity transfer to it. This is the centralized
+    collision-based tester of Batu et al. / Chan–Diakonikolas–Valiant–
+    Valiant: with X_i, Y_i the per-element counts of m samples from each
+    distribution, the statistic
+
+      Z = Σ_i ((X_i − Y_i)² − X_i − Y_i)
+
+    is an unbiased estimator of m(m−1)·‖p − q‖₂² (the −X−Y terms remove
+    the Poisson/binomial diagonal), so it is 0 in expectation when
+    p = q and at least m(m−1)·ε²/(2n) when ‖p − q‖₁ ≥ ε (Cauchy–Schwarz
+    over the ≤ 2n support). Sample complexity Θ(n^(2/3)) at constant
+    ε — strictly harder than uniformity's √n. *)
+
+val statistic : n:int -> int array -> int array -> float
+(** [statistic ~n xs ys] with equal-length sample arrays.
+
+    @raise Invalid_argument on length mismatch or out-of-range
+    samples. *)
+
+val expected_far : n:int -> m:int -> eps:float -> float
+(** The minimum expectation of the statistic when ‖p−q‖₁ ≥ ε:
+    m(m−1)·ε²/(2n). *)
+
+val cutoff : n:int -> m:int -> eps:float -> float
+(** Acceptance cutoff: half of {!expected_far}. *)
+
+val test : n:int -> eps:float -> int array -> int array -> bool
+(** [true] = "the distributions look equal". *)
+
+val recommended_samples : n:int -> eps:float -> int
+(** Per-distribution sample count, 6·n^(2/3)/ε^(4/3) (empirical
+    constant). *)

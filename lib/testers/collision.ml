@@ -1,0 +1,19 @@
+let statistic samples ~n =
+  let hist = Dut_dist.Empirical.create n in
+  Dut_dist.Empirical.add_all hist samples;
+  Dut_dist.Empirical.collision_pairs hist
+
+let pairs m = float_of_int m *. float_of_int (m - 1) /. 2.
+
+let expected_uniform ~n ~m = pairs m /. float_of_int n
+
+let expected_far ~n ~m ~eps = pairs m *. (1. +. (eps *. eps)) /. float_of_int n
+
+let cutoff ~n ~m ~eps = pairs m *. (1. +. (eps *. eps /. 2.)) /. float_of_int n
+
+let test ~n ~eps samples =
+  let m = Array.length samples in
+  float_of_int (statistic samples ~n) < cutoff ~n ~m ~eps
+
+let recommended_samples ~n ~eps =
+  int_of_float (ceil (4. *. sqrt (float_of_int n) /. (eps *. eps)))

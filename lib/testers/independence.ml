@@ -1,0 +1,23 @@
+let encode ~n2 (a, b) = (a * n2) + b
+
+let decode ~n2 i = (i / n2, i mod n2)
+
+let decorrelate rng ~n2 samples =
+  let seconds = Array.map (fun s -> snd (decode ~n2 s)) samples in
+  Dut_prng.Rng.shuffle_in_place rng seconds;
+  Array.mapi (fun i s -> encode ~n2 (fst (decode ~n2 s), seconds.(i))) samples
+
+let test ~n1 ~n2 ~eps rng samples =
+  let n = n1 * n2 in
+  Array.iter
+    (fun s -> if s < 0 || s >= n then invalid_arg "Independence.test: sample out of range")
+    samples;
+  let total = Array.length samples in
+  if total < 4 then invalid_arg "Independence.test: need at least 4 samples";
+  let half = total / 2 in
+  let joint = Array.sub samples 0 half in
+  let product = decorrelate rng ~n2 (Array.sub samples half half) in
+  Closeness.test ~n ~eps joint product
+
+let recommended_samples ~n1 ~n2 ~eps =
+  2 * Closeness.recommended_samples ~n:(n1 * n2) ~eps

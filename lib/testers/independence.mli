@@ -1,0 +1,36 @@
+(** Independence testing over a product domain [n1]×[n2].
+
+    The third generalization the paper's introduction names (uniformity
+    is a special case: a joint that is uniform is in particular
+    independent with uniform marginals, and lower bounds transfer).
+    Tested by the classical reduction to closeness (Batu et al.): split
+    the samples in two halves; the first half estimates the joint; the
+    second half is {e decorrelated} by randomly permuting its second
+    coordinates, which preserves both marginals exactly but produces
+    (approximate) draws from the product of marginals. A joint that is
+    independent is unchanged in distribution by the shuffle; a joint
+    ε-far from every product distribution is ≥ ε-far from its own
+    marginal product, so the closeness tester separates the halves. *)
+
+val encode : n2:int -> int * int -> int
+(** Pair (a, b) ↦ a·n2 + b, the flattened element. *)
+
+val decode : n2:int -> int -> int * int
+
+val decorrelate : Dut_prng.Rng.t -> n2:int -> int array -> int array
+(** Shuffle the second coordinates across the samples (a uniformly
+    random permutation), preserving both marginals exactly. *)
+
+val test :
+  n1:int -> n2:int -> eps:float -> Dut_prng.Rng.t -> int array -> bool
+(** [test ~n1 ~n2 ~eps rng samples] over flattened pair samples; [true]
+    = "looks independent". Uses half the samples as joint draws and the
+    decorrelated other half as product draws, then runs the closeness
+    tester on [n1·n2].
+
+    @raise Invalid_argument if a sample is out of range or fewer than 4
+    samples are supplied. *)
+
+val recommended_samples : n1:int -> n2:int -> eps:float -> int
+(** Total pair samples: 2× the closeness tester's per-side count on the
+    n1·n2 universe. *)

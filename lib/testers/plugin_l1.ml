@@ -1,0 +1,8 @@
+let statistic samples ~n =
+  let hist = Dut_dist.Empirical.of_samples ~n samples in
+  Dut_dist.Distance.l1 (Dut_dist.Empirical.to_pmf hist) (Dut_dist.Pmf.uniform n)
+
+let test ~n ~eps samples = statistic samples ~n < eps /. 2.
+
+let recommended_samples ~n ~eps =
+  int_of_float (ceil (8. *. float_of_int n /. (eps *. eps)))

@@ -1,0 +1,16 @@
+(** The plug-in (learning-based) ℓ1 uniformity tester.
+
+    Learn the empirical distribution and accept iff its ℓ1 distance from
+    U_n is below ε/2. Correct, but needs m = Θ(n/ε²) samples — a factor
+    √n more than the collision tester. Included as the "learning is
+    overkill for testing" baseline that motivates the whole field, and as
+    the building block for the Theorem 1.4 learning experiment. *)
+
+val statistic : int array -> n:int -> float
+(** ‖empirical − U_n‖₁. *)
+
+val test : n:int -> eps:float -> int array -> bool
+(** [true] iff the statistic is below ε/2. *)
+
+val recommended_samples : n:int -> eps:float -> int
+(** Empirically sufficient sample count, 8·n/ε². *)

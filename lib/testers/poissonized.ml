@@ -1,0 +1,24 @@
+let draw_counts rng ~pmf ~mean_samples =
+  if mean_samples < 0 then invalid_arg "Poissonized.draw_counts: negative mean";
+  let m = float_of_int mean_samples in
+  Array.init (Dut_dist.Pmf.size pmf) (fun i ->
+      Dut_prng.Rng.poisson rng (m *. Dut_dist.Pmf.prob pmf i))
+
+let collision_statistic counts =
+  Array.fold_left (fun acc c -> acc + (c * (c - 1) / 2)) 0 counts
+
+let expected_uniform ~n ~m =
+  let mf = float_of_int m in
+  mf *. mf /. (2. *. float_of_int n)
+
+let expected_far ~n ~m ~eps =
+  expected_uniform ~n ~m *. (1. +. (eps *. eps))
+
+let cutoff ~n ~m ~eps = expected_uniform ~n ~m *. (1. +. (eps *. eps /. 2.))
+
+let test_counts ~n ~eps ~m counts =
+  float_of_int (collision_statistic counts) < cutoff ~n ~m ~eps
+
+let test ~n ~eps ~m rng pmf =
+  if Dut_dist.Pmf.size pmf <> n then invalid_arg "Poissonized.test: size mismatch";
+  test_counts ~n ~eps ~m (draw_counts rng ~pmf ~mean_samples:m)

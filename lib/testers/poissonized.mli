@@ -1,0 +1,36 @@
+(** Poissonized uniformity testing.
+
+    The classical analysis device: instead of exactly m samples, draw
+    N ~ Poisson(m) samples; the per-element counts become {e independent}
+    Poisson(m·p_i) variables, which is what makes moments of count
+    statistics tractable (the paper's Section 3 informal discussion, and
+    the variance computations behind the cutoffs here, are cleanest in
+    this model). This module provides the Poissonized collision tester
+    so experiments can confirm the fixed-m and Poissonized testers have
+    the same power profile — justifying the fixed-m implementation used
+    everywhere else. *)
+
+val draw_counts :
+  Dut_prng.Rng.t -> pmf:Dut_dist.Pmf.t -> mean_samples:int -> int array
+(** Per-element counts under Poissonized sampling: independent
+    Poisson(m·p_i) draws.
+
+    @raise Invalid_argument if [mean_samples < 0]. *)
+
+val collision_statistic : int array -> int
+(** Σ_i C(c_i, 2) from a count vector. *)
+
+val expected_uniform : n:int -> m:int -> float
+(** E[statistic] under U_n: n·(m/n)²/2 = m²/(2n). *)
+
+val expected_far : n:int -> m:int -> eps:float -> float
+(** Minimum E[statistic] for an ε-far distribution: (m²/2)·(1+ε²)/n. *)
+
+val cutoff : n:int -> m:int -> eps:float -> float
+
+val test : n:int -> eps:float -> m:int -> Dut_prng.Rng.t -> Dut_dist.Pmf.t -> bool
+(** One Poissonized test round against a known pmf (the sampling is part
+    of the tester here, since the sample count itself is random). *)
+
+val test_counts : n:int -> eps:float -> m:int -> int array -> bool
+(** Decision from an externally drawn count vector. *)

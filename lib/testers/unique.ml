@@ -1,0 +1,23 @@
+let statistic samples ~n =
+  let hist = Dut_dist.Empirical.create n in
+  Dut_dist.Empirical.add_all hist samples;
+  Dut_dist.Empirical.distinct hist
+
+let expected_uniform ~n ~m =
+  let nf = float_of_int n and mf = float_of_int m in
+  nf *. (1. -. ((1. -. (1. /. nf)) ** mf))
+
+let expected_far ~n ~m ~eps =
+  let nf = float_of_int n and mf = float_of_int m in
+  let side w = nf /. 2. *. (1. -. ((1. -. (w /. nf)) ** mf)) in
+  side (1. +. eps) +. side (1. -. eps)
+
+let cutoff ~n ~m ~eps =
+  (expected_uniform ~n ~m +. expected_far ~n ~m ~eps) /. 2.
+
+let test ~n ~eps samples =
+  let m = Array.length samples in
+  float_of_int (statistic samples ~n) > cutoff ~n ~m ~eps
+
+let recommended_samples ~n ~eps =
+  int_of_float (ceil (8. *. sqrt (float_of_int n) /. (eps *. eps)))

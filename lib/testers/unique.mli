@@ -1,0 +1,33 @@
+(** The coincidence-based (distinct-elements) uniformity tester, after
+    Paninski [16].
+
+    Statistic: the number of {e distinct} values observed among m
+    samples. Under U_n its expectation n·(1 − (1 − 1/n)^m) is the
+    maximum over all distributions (by concavity of 1 − (1−p)^m), so the
+    ordering "uniform sees the most distinct values" holds at {e every}
+    sample size — any bias recycles elements. The separation against
+    ε-far distributions is strongest in the near-sparse regime
+    m ≲ n (equivalently ε² ≳ √(1/n), where √n/ε² ≲ n); the
+    {!recommended_samples} constant is tuned for that regime. *)
+
+val statistic : int array -> n:int -> int
+(** Number of distinct values among the samples. *)
+
+val expected_uniform : n:int -> m:int -> float
+(** E[distinct] under U_n: n·(1 − (1 − 1/n)^m). *)
+
+val expected_far : n:int -> m:int -> eps:float -> float
+(** E[distinct] under a Paninski-family member ν_z: half the universe has
+    mass (1+ε)/n and half (1−ε)/n, so the expectation is
+    (n/2)·(1 − (1 − (1+ε)/n)^m) + (n/2)·(1 − (1 − (1−ε)/n)^m), which is
+    strictly smaller than the uniform expectation. *)
+
+val cutoff : n:int -> m:int -> eps:float -> float
+(** Midpoint acceptance cutoff between the two expectations above. *)
+
+val test : n:int -> eps:float -> int array -> bool
+(** [true] = "looks uniform" (distinct count above {!cutoff}). *)
+
+val recommended_samples : n:int -> eps:float -> int
+(** Empirically sufficient sample count in the tester's regime,
+    8·√n/ε². *)

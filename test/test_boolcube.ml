@@ -1,0 +1,435 @@
+(* Tests for dut_boolcube: cube encodings, characters, the fast
+   Walsh-Hadamard transform, level weights, and the evenly-covered
+   combinatorics of the paper's Section 5. *)
+
+open Dut_boolcube
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Cube ------------------------------------------------------------ *)
+
+let test_coord () =
+  Alcotest.(check int) "bit clear = +1" 1 (Cube.coord 0b010 0);
+  Alcotest.(check int) "bit set = -1" (-1) (Cube.coord 0b010 1)
+
+let test_signs_roundtrip () =
+  for x = 0 to 31 do
+    let signs = Cube.to_signs ~dim:5 x in
+    Alcotest.(check int) "roundtrip" x (Cube.of_signs signs)
+  done
+
+let test_of_signs_invalid () =
+  Alcotest.check_raises "bad sign"
+    (Invalid_argument "Cube.of_signs: entries must be +1 or -1") (fun () ->
+      ignore (Cube.of_signs [| 1; 0; -1 |]))
+
+let test_popcount () =
+  Alcotest.(check int) "popcount 0" 0 (Cube.popcount 0);
+  Alcotest.(check int) "popcount 0b1011" 3 (Cube.popcount 0b1011);
+  Alcotest.(check int) "popcount max" 10 (Cube.popcount 0b1111111111)
+
+let test_chi_basics () =
+  (* chi_{} = 1 everywhere; chi_{i}(x) = x_i. *)
+  for x = 0 to 15 do
+    Alcotest.(check int) "empty char" 1 (Cube.chi 0 x);
+    Alcotest.(check int) "singleton char" (Cube.coord x 2) (Cube.chi 0b100 x)
+  done
+
+let test_chi_multiplicative () =
+  (* chi_S(x) * chi_T(x) = chi_{S xor T}(x). *)
+  for s = 0 to 15 do
+    for t = 0 to 15 do
+      for x = 0 to 15 do
+        Alcotest.(check int) "group law"
+          (Cube.chi (s lxor t) x)
+          (Cube.chi s x * Cube.chi t x)
+      done
+    done
+  done
+
+let test_chi_orthogonality () =
+  (* sum_x chi_S(x) = 0 for S <> empty. *)
+  for s = 1 to 31 do
+    let total = ref 0 in
+    Cube.iter_points ~dim:5 (fun x -> total := !total + Cube.chi s x);
+    Alcotest.(check int) "orthogonal to constants" 0 !total
+  done
+
+let test_subsets_of_size_count () =
+  List.iter
+    (fun (dim, size) ->
+      let count = List.length (Cube.subsets_of_size ~dim ~size) in
+      Alcotest.(check int)
+        (Printf.sprintf "C(%d,%d)" dim size)
+        (int_of_float (Cube.binomial dim size))
+        count)
+    [ (5, 0); (5, 1); (5, 2); (5, 5); (8, 3); (10, 4) ]
+
+let test_subsets_have_right_popcount () =
+  Cube.iter_subsets_of_size ~dim:8 ~size:3 (fun s ->
+      Alcotest.(check int) "popcount" 3 (Cube.popcount s))
+
+let test_binomial_values () =
+  check_float "C(0,0)" 1. (Cube.binomial 0 0);
+  check_float "C(5,2)" 10. (Cube.binomial 5 2);
+  check_float "C(10,5)" 252. (Cube.binomial 10 5);
+  check_float "C(5,-1)" 0. (Cube.binomial 5 (-1));
+  check_float "C(5,6)" 0. (Cube.binomial 5 6);
+  check_float "C(50,25)" 126410606437752. (Cube.binomial 50 25)
+
+let test_double_factorial () =
+  check_float "(-1)!!" 1. (Cube.double_factorial (-1));
+  check_float "0!!" 1. (Cube.double_factorial 0);
+  check_float "1!!" 1. (Cube.double_factorial 1);
+  check_float "5!!" 15. (Cube.double_factorial 5);
+  check_float "6!!" 48. (Cube.double_factorial 6);
+  check_float "7!!" 105. (Cube.double_factorial 7)
+
+(* -- Fourier ---------------------------------------------------------- *)
+
+let test_wht_involution () =
+  let a = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |] in
+  let b = Array.copy a in
+  Fourier.wht_in_place b;
+  Fourier.wht_in_place b;
+  Array.iteri (fun i x -> check_float "involution up to N" (a.(i) *. 8.) x) b
+
+let test_wht_bad_length () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fourier.wht_in_place: length must be a power of two")
+    (fun () -> Fourier.wht_in_place [| 1.; 2.; 3. |])
+
+let test_transform_inverse () =
+  let rng = Dut_prng.Rng.create 42 in
+  let table = Array.init 64 (fun _ -> Dut_prng.Rng.unit_float rng) in
+  let recovered = Fourier.inverse (Fourier.transform table) in
+  Array.iteri (fun i x -> check_float "roundtrip" table.(i) x) recovered
+
+let test_transform_of_character () =
+  (* The transform of chi_S is the indicator of S. *)
+  let dim = 4 in
+  let s0 = 0b0101 in
+  let table =
+    Array.init (1 lsl dim) (fun x -> float_of_int (Cube.chi s0 x))
+  in
+  let ft = Fourier.transform table in
+  for s = 0 to (1 lsl dim) - 1 do
+    check_float "delta at S" (if s = s0 then 1. else 0.) (Fourier.coeff ft s)
+  done
+
+let test_mean_and_variance () =
+  let rng = Dut_prng.Rng.create 43 in
+  let table = Array.init 128 (fun _ -> Dut_prng.Rng.unit_float rng) in
+  let ft = Fourier.transform table in
+  let direct_mean = Array.fold_left ( +. ) 0. table /. 128. in
+  let direct_var =
+    Array.fold_left (fun a x -> a +. (x *. x)) 0. table /. 128.
+    -. (direct_mean *. direct_mean)
+  in
+  check_float "mean = coeff(empty)" direct_mean (Fourier.mean ft);
+  check_float "variance" direct_var (Fourier.variance ft)
+
+let test_parseval () =
+  let rng = Dut_prng.Rng.create 44 in
+  let table = Array.init 64 (fun _ -> Dut_prng.Rng.unit_float rng -. 0.5) in
+  let ft = Fourier.transform table in
+  let norm_direct = Array.fold_left (fun a x -> a +. (x *. x)) 0. table /. 64. in
+  check_float "Parseval" norm_direct (Fourier.norm2_sq ft)
+
+let test_level_weights_sum () =
+  let rng = Dut_prng.Rng.create 45 in
+  let dim = 6 in
+  let ft =
+    Fourier.of_boolean (fun _ -> Dut_prng.Rng.bernoulli rng 0.4) ~dim
+  in
+  let total = ref 0. in
+  for r = 0 to dim do
+    total := !total +. Fourier.level_weight ft r
+  done;
+  check_float "levels partition the norm" (Fourier.norm2_sq ft) !total;
+  check_float "weight_up_to dim = variance" (Fourier.variance ft)
+    (Fourier.weight_up_to ft dim)
+
+let test_inner_product_plancherel () =
+  let rng = Dut_prng.Rng.create 46 in
+  let f = Array.init 32 (fun _ -> Dut_prng.Rng.unit_float rng) in
+  let g = Array.init 32 (fun _ -> Dut_prng.Rng.unit_float rng) in
+  let direct =
+    let acc = ref 0. in
+    Array.iteri (fun i x -> acc := !acc +. (x *. g.(i))) f;
+    !acc /. 32.
+  in
+  check_float "Plancherel" direct
+    (Fourier.inner_product (Fourier.transform f) (Fourier.transform g))
+
+let test_kkl_on_and_function () =
+  (* AND of j coordinates: weight at levels <= r is sum_{i<=r} C(j,i)/4^j
+     (without the empty set for i>=1); must respect the bound. *)
+  let dim = 10 in
+  List.iter
+    (fun j ->
+      let ft =
+        Fourier.of_boolean (fun x -> x land ((1 lsl j) - 1) = 0) ~dim
+      in
+      let mu = Fourier.mean ft in
+      check_float "mu of AND_j" (1. /. float_of_int (1 lsl j)) mu;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun delta ->
+              let w = Fourier.weight_up_to ft r in
+              let bound = Fourier.kkl_bound ~mu ~r ~delta in
+              if w > bound +. 1e-9 then
+                Alcotest.failf "KKL violated: j=%d r=%d delta=%f w=%f bound=%f"
+                  j r delta w bound)
+            [ 1.; 0.5; 1. /. 3. ])
+        [ 1; 2; 3 ])
+    [ 2; 4; 6 ]
+
+let test_noise_operator () =
+  let rng = Dut_prng.Rng.create 48 in
+  let table = Array.init 64 (fun _ -> Dut_prng.Rng.unit_float rng) in
+  let ft = Fourier.transform table in
+  (* rho = 1 is the identity; rho = 0 collapses to the mean. *)
+  let id = Fourier.noise ~rho:1. ft in
+  for s = 0 to 63 do
+    check_float "identity at rho=1" (Fourier.coeff ft s) (Fourier.coeff id s)
+  done;
+  let collapsed = Fourier.inverse (Fourier.noise ~rho:0. ft) in
+  Array.iter (fun v -> check_float "constant at rho=0" (Fourier.mean ft) v) collapsed
+
+let test_noise_contracts_variance () =
+  let rng = Dut_prng.Rng.create 49 in
+  let ft =
+    Fourier.of_boolean (fun _ -> Dut_prng.Rng.bernoulli rng 0.5) ~dim:8
+  in
+  Alcotest.(check bool) "variance shrinks" true
+    (Fourier.variance (Fourier.noise ~rho:0.6 ft) <= Fourier.variance ft)
+
+let test_lp_norm () =
+  let table = [| 1.; -1.; 1.; -1. |] in
+  check_float "l2 of +-1" 1. (Fourier.lp_norm table ~p:2.);
+  check_float "l1 of +-1" 1. (Fourier.lp_norm table ~p:1.);
+  check_float "homogeneity" 2.
+    (Fourier.lp_norm [| 2.; 2.; 2.; 2. |] ~p:3.
+    /. Fourier.lp_norm [| 1.; 1.; 1.; 1. |] ~p:3.);
+  (* Jensen: p-norms are non-decreasing in p. *)
+  let table = [| 0.1; 0.9; 0.4; 0.7 |] in
+  Alcotest.(check bool) "monotone in p" true
+    (Fourier.lp_norm table ~p:1. <= Fourier.lp_norm table ~p:2.
+    && Fourier.lp_norm table ~p:2. <= Fourier.lp_norm table ~p:4.)
+
+let test_hypercontractivity () =
+  (* Bonami-Beckner: ||T_rho f||_2 <= ||f||_{1+rho^2}, for random tables
+     and for boolean functions. *)
+  let rng = Dut_prng.Rng.create 148 in
+  List.iter
+    (fun rho ->
+      for _ = 1 to 20 do
+        let table =
+          Array.init 64 (fun _ -> (2. *. Dut_prng.Rng.unit_float rng) -. 1.)
+        in
+        let r = Fourier.hypercontractive_ratio table ~rho in
+        if r > 1. +. 1e-9 then Alcotest.failf "hypercontractivity violated: %f" r
+      done)
+    [ 0.2; 0.5; 0.8; 1. ]
+
+(* -- Even_cover ------------------------------------------------------- *)
+
+let test_evenly_covered_basics () =
+  let x = [| 0; 0; 1; 1; 2 |] in
+  Alcotest.(check bool) "empty set" true (Even_cover.evenly_covered ~x ~s:0);
+  Alcotest.(check bool) "pair of equal" true (Even_cover.evenly_covered ~x ~s:0b00011);
+  Alcotest.(check bool) "pair of distinct" false (Even_cover.evenly_covered ~x ~s:0b00101);
+  Alcotest.(check bool) "two pairs" true (Even_cover.evenly_covered ~x ~s:0b01111);
+  Alcotest.(check bool) "odd singleton" false (Even_cover.evenly_covered ~x ~s:0b10000);
+  Alcotest.(check bool) "triple + singleton" false
+    (Even_cover.evenly_covered ~x:[| 3; 3; 3; 3 |] ~s:0b0111)
+
+let test_a_r_brute_force () =
+  (* a_r(x) equals the brute-force count for random tuples. *)
+  let rng = Dut_prng.Rng.create 47 in
+  for _ = 1 to 50 do
+    let q = 2 + Dut_prng.Rng.int rng 5 in
+    let x = Array.init q (fun _ -> Dut_prng.Rng.int rng 3) in
+    for r = 1 to q / 2 do
+      let brute = ref 0 in
+      Cube.iter_subsets_of_size ~dim:q ~size:(2 * r) (fun s ->
+          if Even_cover.evenly_covered ~x ~s then incr brute);
+      Alcotest.(check int) "a_r matches brute force" !brute (Even_cover.a_r ~x ~r)
+    done
+  done
+
+let test_count_even_sequences_small () =
+  (* Length 2 over m letters: m sequences (aa). *)
+  check_float "len 2" 4. (Even_cover.count_even_sequences ~m:4 ~len:2);
+  (* Length 4 over 2 letters: aaaa, bbbb, and the 6 arrangements of aabb. *)
+  check_float "len 4 m 2" 8. (Even_cover.count_even_sequences ~m:2 ~len:4);
+  check_float "odd length" 0. (Even_cover.count_even_sequences ~m:3 ~len:3);
+  check_float "len 0" 1. (Even_cover.count_even_sequences ~m:5 ~len:0)
+
+let test_count_even_sequences_brute () =
+  (* Exhaustive check against direct enumeration. *)
+  List.iter
+    (fun (m, len) ->
+      let count = ref 0 in
+      let total = int_of_float (float_of_int m ** float_of_int len) in
+      for idx = 0 to total - 1 do
+        let x =
+          Array.init len (fun j ->
+              idx / int_of_float (float_of_int m ** float_of_int j) mod m)
+        in
+        if Even_cover.evenly_covered ~x ~s:((1 lsl len) - 1) then incr count
+      done;
+      check_float
+        (Printf.sprintf "m=%d len=%d" m len)
+        (float_of_int !count)
+        (Even_cover.count_even_sequences ~m ~len))
+    [ (2, 2); (2, 4); (2, 6); (3, 4); (4, 4); (3, 6) ]
+
+let test_count_x_s_vs_brute () =
+  let m = 3 and q = 4 in
+  List.iter
+    (fun s_size ->
+      let s = (1 lsl s_size) - 1 in
+      let count = ref 0 in
+      let total = int_of_float (float_of_int m ** float_of_int q) in
+      for idx = 0 to total - 1 do
+        let x =
+          Array.init q (fun j ->
+              idx / int_of_float (float_of_int m ** float_of_int j) mod m)
+        in
+        if Even_cover.evenly_covered ~x ~s then incr count
+      done;
+      check_float
+        (Printf.sprintf "|X_S| s=%d" s_size)
+        (float_of_int !count)
+        (Even_cover.count_x_s ~m ~q ~s_size))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_x_s_upper_bound_holds () =
+  List.iter
+    (fun (m, q, s_size) ->
+      let exact = Even_cover.count_x_s ~m ~q ~s_size in
+      let bound = Even_cover.x_s_upper_bound ~m ~q ~s_size in
+      if s_size mod 2 = 0 && exact > bound +. 1e-9 then
+        Alcotest.failf "Prop 5.2 violated at m=%d q=%d s=%d: %f > %f" m q s_size
+          exact bound)
+    [ (2, 4, 2); (2, 4, 4); (4, 4, 2); (4, 6, 4); (8, 6, 6); (8, 5, 2) ]
+
+let test_sum_a_r_identity () =
+  (* sum_x a_r(x) = C(q,2r)|X_2r| -- check by enumeration. *)
+  let m = 3 and q = 4 and r = 1 in
+  let total = int_of_float (float_of_int m ** float_of_int q) in
+  let sum = ref 0 in
+  for idx = 0 to total - 1 do
+    let x =
+      Array.init q (fun j ->
+          idx / int_of_float (float_of_int m ** float_of_int j) mod m)
+    in
+    sum := !sum + Even_cover.a_r ~x ~r
+  done;
+  check_float "interchange identity" (float_of_int !sum)
+    (Even_cover.sum_a_r ~m ~q ~r)
+
+let test_moment_exact_vs_bound () =
+  List.iter
+    (fun (m, q, r, power) ->
+      let n = 2 * m in
+      let exact = Even_cover.moment_a_r_exact ~m ~q ~r ~power in
+      let bound = Even_cover.moment_a_r_bound ~n ~q ~r ~power in
+      if exact > bound +. 1e-9 then
+        Alcotest.failf "Lemma 5.5 violated at m=%d q=%d r=%d power=%d" m q r power)
+    [ (2, 4, 1, 1); (2, 4, 1, 2); (2, 4, 2, 1); (4, 4, 1, 2); (4, 5, 1, 3) ]
+
+let test_moment_power_one_equals_mean () =
+  (* E[a_r] from enumeration should match sum_a_r / m^q. *)
+  let m = 4 and q = 4 and r = 1 in
+  let mean = Even_cover.moment_a_r_exact ~m ~q ~r ~power:1 in
+  let closed =
+    Even_cover.sum_a_r ~m ~q ~r /. (float_of_int m ** float_of_int q)
+  in
+  check_float "mean identity" closed mean
+
+let test_mean_a_r_upper_bound () =
+  let m = 4 and q = 4 and r = 1 in
+  let mean = Even_cover.moment_a_r_exact ~m ~q ~r ~power:1 in
+  Alcotest.(check bool) "E[a_r] <= (q^2/n)^r" true
+    (mean <= Even_cover.mean_a_r_upper_bound ~m ~q ~r +. 1e-9)
+
+(* -- qcheck ----------------------------------------------------------- *)
+
+let prop_wht_linear =
+  QCheck.Test.make ~name:"WHT is linear" ~count:100
+    QCheck.(pair (list_of_size (Gen.return 8) (float_bound_exclusive 1.)) (float_bound_exclusive 1.))
+    (fun (xs, c) ->
+      let a = Array.of_list xs in
+      let scaled = Array.map (fun x -> c *. x) a in
+      Fourier.wht_in_place a;
+      Fourier.wht_in_place scaled;
+      Array.for_all2 (fun x y -> Float.abs ((c *. x) -. y) < 1e-9) a scaled)
+
+let prop_transform_roundtrip =
+  QCheck.Test.make ~name:"transform/inverse roundtrip" ~count:100
+    QCheck.(list_of_size (Gen.return 16) (float_bound_exclusive 1.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let b = Fourier.inverse (Fourier.transform a) in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) a b)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:100
+    QCheck.(list_of_size (Gen.return 16) (float_bound_exclusive 1.))
+    (fun xs ->
+      Fourier.variance (Fourier.transform (Array.of_list xs)) >= -1e-12)
+
+let () =
+  Alcotest.run "dut_boolcube"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "coord" `Quick test_coord;
+          Alcotest.test_case "signs roundtrip" `Quick test_signs_roundtrip;
+          Alcotest.test_case "of_signs invalid" `Quick test_of_signs_invalid;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "chi basics" `Quick test_chi_basics;
+          Alcotest.test_case "chi multiplicative" `Quick test_chi_multiplicative;
+          Alcotest.test_case "chi orthogonality" `Quick test_chi_orthogonality;
+          Alcotest.test_case "subset counts" `Quick test_subsets_of_size_count;
+          Alcotest.test_case "subset popcounts" `Quick test_subsets_have_right_popcount;
+          Alcotest.test_case "binomial" `Quick test_binomial_values;
+          Alcotest.test_case "double factorial" `Quick test_double_factorial;
+        ] );
+      ( "fourier",
+        [
+          Alcotest.test_case "WHT involution" `Quick test_wht_involution;
+          Alcotest.test_case "WHT bad length" `Quick test_wht_bad_length;
+          Alcotest.test_case "transform inverse" `Quick test_transform_inverse;
+          Alcotest.test_case "transform of character" `Quick test_transform_of_character;
+          Alcotest.test_case "mean and variance" `Quick test_mean_and_variance;
+          Alcotest.test_case "Parseval" `Quick test_parseval;
+          Alcotest.test_case "level weights partition" `Quick test_level_weights_sum;
+          Alcotest.test_case "Plancherel" `Quick test_inner_product_plancherel;
+          Alcotest.test_case "KKL on AND functions" `Quick test_kkl_on_and_function;
+          Alcotest.test_case "noise operator" `Quick test_noise_operator;
+          Alcotest.test_case "noise contracts variance" `Quick test_noise_contracts_variance;
+          Alcotest.test_case "lp norms" `Quick test_lp_norm;
+          Alcotest.test_case "hypercontractivity" `Quick test_hypercontractivity;
+        ] );
+      ( "even_cover",
+        [
+          Alcotest.test_case "evenly covered basics" `Quick test_evenly_covered_basics;
+          Alcotest.test_case "a_r brute force" `Quick test_a_r_brute_force;
+          Alcotest.test_case "even sequences small" `Quick test_count_even_sequences_small;
+          Alcotest.test_case "even sequences brute" `Quick test_count_even_sequences_brute;
+          Alcotest.test_case "X_S vs brute" `Quick test_count_x_s_vs_brute;
+          Alcotest.test_case "Prop 5.2 bound" `Quick test_x_s_upper_bound_holds;
+          Alcotest.test_case "interchange identity" `Quick test_sum_a_r_identity;
+          Alcotest.test_case "Lemma 5.5 bound" `Quick test_moment_exact_vs_bound;
+          Alcotest.test_case "moment power 1" `Quick test_moment_power_one_equals_mean;
+          Alcotest.test_case "mean a_r bound" `Quick test_mean_a_r_upper_bound;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_wht_linear; prop_transform_roundtrip; prop_variance_nonneg ] );
+    ]

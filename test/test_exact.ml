@@ -1,0 +1,350 @@
+(* Tests for Dut_core.Exact: the exhaustive small-universe verification
+   engine behind the F1/T8/T11 experiments. Everything here is an exact
+   (float-rounding-level) identity or inequality from the paper. *)
+
+let check_float = Alcotest.(check (float 1e-10))
+
+let test_domain_size () =
+  Alcotest.(check int) "ell=1 q=2" 16 (Dut_core.Exact.domain_size ~ell:1 ~q:2);
+  Alcotest.(check int) "ell=2 q=3" 512 (Dut_core.Exact.domain_size ~ell:2 ~q:3);
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Exact.domain_size: need ell >= 0, q >= 1, (ell+1)q <= 24")
+    (fun () -> ignore (Dut_core.Exact.domain_size ~ell:4 ~q:6))
+
+let test_constant_g () =
+  let g1 = Dut_core.Exact.constant ~ell:2 ~q:2 true in
+  check_float "mu of constant 1" 1. (Dut_core.Exact.mu g1);
+  check_float "var of constant" 0. (Dut_core.Exact.variance g1);
+  let g0 = Dut_core.Exact.constant ~ell:2 ~q:2 false in
+  check_float "mu of constant 0" 0. (Dut_core.Exact.mu g0)
+
+let test_nu_of_constant_is_one () =
+  let rng = Dut_prng.Rng.create 140 in
+  let g = Dut_core.Exact.constant ~ell:2 ~q:3 true in
+  let d = Dut_dist.Paninski.random ~ell:2 ~eps:0.4 rng in
+  check_float "total probability" 1. (Dut_core.Exact.nu g d)
+
+let test_mu_of_collision_acceptor () =
+  (* For q = 2 over n elements, P[no collision] = 1 - 1/n. *)
+  let g = Dut_core.Exact.collision_acceptor ~ell:2 ~q:2 ~cutoff:1 in
+  check_float "mu = 1 - 1/8" (1. -. (1. /. 8.)) (Dut_core.Exact.mu g)
+
+let test_nu_collision_acceptor_exact () =
+  (* Under nu_z, P[no collision among 2 samples] = 1 - ||nu_z||_2^2
+     = 1 - (1+eps^2)/n, independent of z. *)
+  let rng = Dut_prng.Rng.create 141 in
+  let eps = 0.35 in
+  let g = Dut_core.Exact.collision_acceptor ~ell:2 ~q:2 ~cutoff:1 in
+  for _ = 1 to 5 do
+    let d = Dut_dist.Paninski.random ~ell:2 ~eps rng in
+    check_float "1 - (1+eps^2)/n"
+      (1. -. ((1. +. (eps *. eps)) /. 8.))
+      (Dut_core.Exact.nu g d)
+  done
+
+let test_lemma41_fourier_identity () =
+  (* diff_fourier must equal nu - mu for arbitrary G and z: the
+     executable Lemma 4.1. *)
+  let rng = Dut_prng.Rng.create 142 in
+  List.iter
+    (fun (ell, q) ->
+      for _ = 1 to 5 do
+        let g =
+          Dut_core.Exact.random_biased ~ell ~q ~accept_prob:0.5 rng
+        in
+        let d = Dut_dist.Paninski.random ~ell ~eps:0.3 rng in
+        let direct = Dut_core.Exact.nu g d -. Dut_core.Exact.mu g in
+        check_float "Lemma 4.1" direct (Dut_core.Exact.diff_fourier g d)
+      done)
+    [ (1, 1); (1, 2); (1, 3); (2, 2); (2, 3); (3, 2) ]
+
+let test_iter_all_z_count () =
+  let count = ref 0 in
+  Dut_core.Exact.iter_all_z ~ell:2 (fun z ->
+      Alcotest.(check int) "z length" 4 (Array.length z);
+      incr count);
+  Alcotest.(check int) "2^(2^ell) vectors" 16 !count
+
+let test_mean_diff_zero_for_constant () =
+  let g = Dut_core.Exact.constant ~ell:1 ~q:2 true in
+  Alcotest.(check bool) "no drift for constants" true
+    (Float.abs (Dut_core.Exact.mean_diff_over_z g ~eps:0.4) < 1e-12)
+
+let test_mean_sq_diff_nonneg () =
+  let rng = Dut_prng.Rng.create 143 in
+  let g = Dut_core.Exact.random_biased ~ell:2 ~q:2 ~accept_prob:0.7 rng in
+  Alcotest.(check bool) "non-negative" true
+    (Dut_core.Exact.mean_sq_diff_over_z g ~eps:0.3 >= 0.)
+
+let test_collision_acceptor_drift_is_negative () =
+  (* The collision acceptor accepts less often under nu_z (more
+     collisions), so E_z[nu(G)] - mu(G) < 0. *)
+  let g = Dut_core.Exact.collision_acceptor ~ell:2 ~q:3 ~cutoff:1 in
+  Alcotest.(check bool) "drift negative" true
+    (Dut_core.Exact.mean_diff_over_z g ~eps:0.3 < 0.)
+
+let test_mean_diff_equals_exact_formula_q2 () =
+  (* For the q = 2 collision acceptor the drift has a closed form:
+     E_z[nu(G)] - mu(G) = -(eps^2)/n (collision probability inflation). *)
+  let eps = 0.3 in
+  let g = Dut_core.Exact.collision_acceptor ~ell:2 ~q:2 ~cutoff:1 in
+  check_float "closed form drift"
+    (-.(eps *. eps) /. 8.)
+    (Dut_core.Exact.mean_diff_over_z g ~eps)
+
+let test_lemma_ratios_bounded () =
+  (* Lemma 5.1 ratios and the slack form of Lemma 4.2 stay <= 1 whenever
+     the side conditions hold, over a spread of G shapes including the
+     extremal s-detector (which breaks Lemma 4.2's literal constant at
+     q = 1 — the documented reproduction finding). *)
+  let rng = Dut_prng.Rng.create 144 in
+  List.iter
+    (fun (ell, q, eps) ->
+      let n = 1 lsl (ell + 1) in
+      let gs =
+        [
+          Dut_core.Exact.collision_acceptor ~ell ~q ~cutoff:1;
+          Dut_core.Exact.s_detector ~ell ~q;
+          Dut_core.Exact.random_biased ~ell ~q ~accept_prob:0.5 rng;
+          Dut_core.Exact.random_biased ~ell ~q ~accept_prob:0.95 rng;
+        ]
+      in
+      List.iter
+        (fun g ->
+          if Dut_core.Bounds.lemma51_applies ~q ~n ~eps then begin
+            let r = Dut_core.Exact.lemma51_ratio g ~eps in
+            if r > 1. then Alcotest.failf "Lemma 5.1 ratio %f > 1" r
+          end;
+          if Dut_core.Bounds.lemma42_applies ~q ~n ~eps then begin
+            let r = Dut_core.Exact.lemma42_slack_ratio g ~eps in
+            if r > 1. then Alcotest.failf "Lemma 4.2 slack ratio %f > 1" r
+          end)
+        gs)
+    [ (1, 1, 0.1); (1, 2, 0.1); (2, 2, 0.1); (2, 2, 0.3); (2, 3, 0.1); (2, 3, 0.3) ]
+
+let test_s_detector_documents_constant_slip () =
+  (* The recorded finding: at q = 1 the s-detector's exact second moment
+     is eps^2/(2n) = 2x the literal Lemma 4.2 RHS, and within the slack
+     form. *)
+  let g = Dut_core.Exact.s_detector ~ell:2 ~q:1 in
+  let eps = 0.1 in
+  check_float "exact second moment"
+    (eps *. eps /. 16.)
+    (Dut_core.Exact.mean_sq_diff_over_z g ~eps);
+  let literal = Dut_core.Exact.lemma42_ratio g ~eps in
+  Alcotest.(check bool) "literal constant exceeded" true (literal > 1.);
+  Alcotest.(check bool) "but by at most 2" true (literal <= 2. +. 1e-9);
+  Alcotest.(check bool) "slack form holds" true
+    (Dut_core.Exact.lemma42_slack_ratio g ~eps <= 1.)
+
+let test_lemma43_ratio_bounded_in_range () =
+  let rng = Dut_prng.Rng.create 145 in
+  (* Lemma 4.3 with m = 1 in a regime where its side condition holds. *)
+  let ell = 2 and q = 1 and eps = 0.05 in
+  let n = 1 lsl (ell + 1) in
+  Alcotest.(check bool) "side condition" true
+    (Dut_core.Bounds.lemma43_applies ~q ~n ~eps ~m:1);
+  let g = Dut_core.Exact.random_biased ~ell ~q ~accept_prob:0.97 rng in
+  let r = Dut_core.Exact.lemma43_ratio g ~eps ~m:1 in
+  Alcotest.(check bool) "ratio <= 1" true (r <= 1.)
+
+let test_s_detector_mean_drift_zero () =
+  (* E_z[nu_z(G)] = mu(G) for the s-detector: its level-1 coefficients
+     see E[z(x)] = 0. The second moment is what survives (Lemma 4.2's
+     regime). *)
+  let g = Dut_core.Exact.s_detector ~ell:2 ~q:2 in
+  Alcotest.(check bool) "mean drift zero" true
+    (Float.abs (Dut_core.Exact.mean_diff_over_z g ~eps:0.4) < 1e-12);
+  Alcotest.(check bool) "second moment positive" true
+    (Dut_core.Exact.mean_sq_diff_over_z g ~eps:0.4 > 0.)
+
+let test_lemma44_constants () =
+  (* The s-detector at q=1 sits exactly on Lemma 4.4's first term, so
+     min C = 0; ratios at C = 4 are <= 1 across the family. *)
+  let rng = Dut_prng.Rng.create 147 in
+  let eps = 0.2 in
+  let gs =
+    [
+      Dut_core.Exact.s_detector ~ell:2 ~q:1;
+      Dut_core.Exact.collision_acceptor ~ell:2 ~q:3 ~cutoff:1;
+      Dut_core.Exact.random_biased ~ell:2 ~q:2 ~accept_prob:0.9 rng;
+    ]
+  in
+  List.iter
+    (fun g ->
+      let c = Dut_core.Exact.lemma44_min_constant g ~eps ~m:1 in
+      if c > 4. then Alcotest.failf "Lemma 4.4 needs C = %f > 4" c;
+      let r = Dut_core.Exact.lemma44_ratio g ~eps ~m:1 ~c:4. in
+      if r > 1. then Alcotest.failf "Lemma 4.4 ratio %f > 1 at C=4" r)
+    gs;
+  Alcotest.(check (float 1e-9)) "s-detector needs no C term" 0.
+    (Dut_core.Exact.lemma44_min_constant (Dut_core.Exact.s_detector ~ell:2 ~q:1)
+       ~eps ~m:1)
+
+let test_collision_pmf_uniform_basics () =
+  (* q = 2 on n = 8: P[collision] = 1/n. *)
+  let pmf = Dut_core.Exact.collision_pmf_uniform ~ell:2 ~q:2 in
+  Alcotest.(check int) "support size" 2 (Array.length pmf);
+  check_float "no collision" (7. /. 8.) pmf.(0);
+  check_float "collision" (1. /. 8.) pmf.(1);
+  (* Distributions sum to 1 for bigger q too. *)
+  let pmf4 = Dut_core.Exact.collision_pmf_uniform ~ell:2 ~q:4 in
+  check_float "sums to 1" 1. (Array.fold_left ( +. ) 0. pmf4)
+
+let test_collision_pmf_far_mean_shift () =
+  (* Mean collisions under far = (1+eps^2) x uniform mean, exactly. *)
+  let ell = 2 and q = 4 and eps = 0.3 in
+  let mean pmf =
+    let acc = ref 0. in
+    Array.iteri (fun c p -> acc := !acc +. (float_of_int c *. p)) pmf;
+    !acc
+  in
+  let mu = mean (Dut_core.Exact.collision_pmf_uniform ~ell ~q) in
+  let nu = mean (Dut_core.Exact.collision_pmf_far ~ell ~q ~eps) in
+  check_float "mean inflation" (mu *. (1. +. (eps *. eps))) nu
+
+let test_exact_test_power_edges () =
+  let null = [| 0.9; 0.1 |] and far = [| 0.5; 0.5 |] in
+  let a0, r0 = Dut_core.Exact.exact_test_power ~null ~far ~cutoff:0 in
+  check_float "cutoff 0 accepts nothing" 0. a0;
+  check_float "cutoff 0 rejects everything" 1. r0;
+  let a2, r2 = Dut_core.Exact.exact_test_power ~null ~far ~cutoff:2 in
+  check_float "cutoff past support accepts all" 1. a2;
+  check_float "and rejects nothing" 0. r2;
+  let a1, r1 = Dut_core.Exact.exact_test_power ~null ~far ~cutoff:1 in
+  check_float "cutoff 1 accept" 0.9 a1;
+  check_float "cutoff 1 reject" 0.5 r1
+
+let test_best_cutoff_power () =
+  let null = [| 0.9; 0.1 |] and far = [| 0.5; 0.5 |] in
+  let cutoff, value = Dut_core.Exact.best_cutoff_power ~null ~far in
+  Alcotest.(check int) "picks the separating cutoff" 1 cutoff;
+  check_float "value" 0.5 value
+
+let test_power_grows_with_q () =
+  let value q =
+    snd
+      (Dut_core.Exact.best_cutoff_power
+         ~null:(Dut_core.Exact.collision_pmf_uniform ~ell:1 ~q)
+         ~far:(Dut_core.Exact.collision_pmf_far ~ell:1 ~q ~eps:0.6))
+  in
+  Alcotest.(check bool) "q=8 beats q=2" true (value 8 > value 2)
+
+let test_message_divergence_constant_zero () =
+  (* A constant message carries nothing. *)
+  check_float "zero leakage" 0.
+    (Dut_core.Exact.message_divergence ~ell:2 ~q:2 ~eps:0.4 ~levels:3 (fun _ -> 1))
+
+let test_message_divergence_monotone_in_refinement () =
+  (* Refining the quantization cannot lose information (data
+     processing): full statistic >= binary vote. *)
+  let ell = 2 and q = 3 and eps = 0.3 in
+  let binary tuple = min 1 (Dut_core.Local_stat.collisions tuple) in
+  let full tuple = Dut_core.Local_stat.collisions tuple in
+  let d_bin =
+    Dut_core.Exact.message_divergence ~ell ~q ~eps ~levels:2 binary
+  in
+  let d_full =
+    Dut_core.Exact.message_divergence ~ell ~q ~eps ~levels:4 full
+  in
+  Alcotest.(check bool) "refinement helps" true (d_full >= d_bin -. 1e-12);
+  Alcotest.(check bool) "both positive" true (d_bin > 0.)
+
+let test_message_divergence_matches_bernoulli_kl () =
+  (* For the 2-level vote, the divergence must equal the Bernoulli KL of
+     the acceptance probabilities, averaged over z. *)
+  let ell = 2 and q = 3 and eps = 0.3 in
+  let cutoff = 1 in
+  let g = Dut_core.Exact.collision_acceptor ~ell ~q ~cutoff in
+  let mu = Dut_core.Exact.mu g in
+  let expected = ref 0. in
+  let count = ref 0 in
+  Dut_core.Exact.iter_all_z ~ell (fun z ->
+      let d = Dut_dist.Paninski.create ~ell ~eps ~z in
+      let nu = Dut_core.Exact.nu g d in
+      expected := !expected +. Dut_info.Divergence.kl_bernoulli ~alpha:nu ~beta:mu;
+      incr count);
+  let expected = !expected /. float_of_int !count in
+  let via_messages =
+    Dut_core.Exact.message_divergence ~ell ~q ~eps ~levels:2 (fun tuple ->
+        if Dut_core.Local_stat.collisions tuple < cutoff then 1 else 0)
+  in
+  check_float "agrees with Bernoulli KL" expected via_messages
+
+let test_and_rule_value_vs_general () =
+  (* The fixed AND rule can never beat the best rule. *)
+  let rng = Dut_prng.Rng.create 156 in
+  for _ = 1 to 30 do
+    let k = 1 + Dut_prng.Rng.int rng 6 in
+    let a0 = Dut_prng.Rng.unit_float rng in
+    let a_far = Array.init 3 (fun _ -> Dut_prng.Rng.unit_float rng) in
+    let general = Dut_core.Rule_search.best_rule_value ~k ~a0 ~a_far in
+    let and_only = Dut_core.Rule_search.and_rule_value ~k ~a0 ~a_far in
+    if and_only > general +. 1e-9 then
+      Alcotest.failf "AND %f beats the best rule %f" and_only general
+  done
+
+let test_of_predicate_receives_decoded_tuples () =
+  (* Check the tuple decoding by marking one specific tuple. *)
+  let target = [| 3; 0 |] in
+  let g = Dut_core.Exact.of_predicate ~ell:1 ~q:2 (fun t -> t = target) in
+  (* Exactly one of the 16 tuples is accepted. *)
+  check_float "single point mass" (1. /. 16.) (Dut_core.Exact.mu g)
+
+let test_random_biased_mu () =
+  let rng = Dut_prng.Rng.create 146 in
+  let g = Dut_core.Exact.random_biased ~ell:2 ~q:3 ~accept_prob:0.8 rng in
+  Alcotest.(check bool) "mu near 0.8" true
+    (Float.abs (Dut_core.Exact.mu g -. 0.8) < 0.08)
+
+let () =
+  Alcotest.run "dut_exact"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "domain size" `Quick test_domain_size;
+          Alcotest.test_case "constants" `Quick test_constant_g;
+          Alcotest.test_case "nu of constant" `Quick test_nu_of_constant_is_one;
+          Alcotest.test_case "predicate decoding" `Quick test_of_predicate_receives_decoded_tuples;
+          Alcotest.test_case "random biased mu" `Quick test_random_biased_mu;
+          Alcotest.test_case "iter all z" `Quick test_iter_all_z_count;
+        ] );
+      ( "identities",
+        [
+          Alcotest.test_case "mu of collision acceptor" `Quick test_mu_of_collision_acceptor;
+          Alcotest.test_case "nu exact" `Quick test_nu_collision_acceptor_exact;
+          Alcotest.test_case "Lemma 4.1" `Quick test_lemma41_fourier_identity;
+          Alcotest.test_case "constant drift zero" `Quick test_mean_diff_zero_for_constant;
+          Alcotest.test_case "s-detector mean drift zero" `Quick
+            test_s_detector_mean_drift_zero;
+          Alcotest.test_case "q=2 closed-form drift" `Quick test_mean_diff_equals_exact_formula_q2;
+        ] );
+      ( "message divergence",
+        [
+          Alcotest.test_case "constant is zero" `Quick test_message_divergence_constant_zero;
+          Alcotest.test_case "refinement monotone" `Quick
+            test_message_divergence_monotone_in_refinement;
+          Alcotest.test_case "matches Bernoulli KL" `Quick
+            test_message_divergence_matches_bernoulli_kl;
+          Alcotest.test_case "AND below best rule" `Quick test_and_rule_value_vs_general;
+        ] );
+      ( "exact power",
+        [
+          Alcotest.test_case "uniform pmf basics" `Quick test_collision_pmf_uniform_basics;
+          Alcotest.test_case "far mean shift" `Quick test_collision_pmf_far_mean_shift;
+          Alcotest.test_case "test power edges" `Quick test_exact_test_power_edges;
+          Alcotest.test_case "best cutoff" `Quick test_best_cutoff_power;
+          Alcotest.test_case "power grows with q" `Quick test_power_grows_with_q;
+        ] );
+      ( "inequalities",
+        [
+          Alcotest.test_case "mean sq non-negative" `Quick test_mean_sq_diff_nonneg;
+          Alcotest.test_case "collision drift negative" `Quick
+            test_collision_acceptor_drift_is_negative;
+          Alcotest.test_case "Lemmas 5.1/4.2 ratios" `Quick test_lemma_ratios_bounded;
+          Alcotest.test_case "s-detector constant slip" `Quick
+            test_s_detector_documents_constant_slip;
+          Alcotest.test_case "Lemma 4.3 ratio" `Quick test_lemma43_ratio_bounded_in_range;
+          Alcotest.test_case "Lemma 4.4 constants" `Quick test_lemma44_constants;
+        ] );
+    ]

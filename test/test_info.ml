@@ -1,0 +1,109 @@
+(* Tests for dut_info: the Section 6 information-theoretic toolkit. *)
+
+open Dut_info
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-4))
+
+let test_kl_bits_matches_distance () =
+  let p = Dut_dist.Pmf.create [| 0.5; 0.5 |] in
+  let q = Dut_dist.Pmf.create [| 0.25; 0.75 |] in
+  check_float "alias of Distance.kl" (Dut_dist.Distance.kl p q)
+    (Divergence.kl_bits p q)
+
+let test_kl_product_additivity () =
+  (* Fact 6.2: summing coordinate divergences. *)
+  check_float "sum" 0.6 (Divergence.kl_product [ 0.1; 0.2; 0.3 ]);
+  check_float "empty" 0. (Divergence.kl_product [])
+
+let test_kl_product_matches_joint () =
+  (* Additivity against a literally constructed product distribution:
+     D(P1xP2 || Q1xQ2) = D(P1||Q1) + D(P2||Q2). The joint over a 2x2
+     universe is flattened to 4 outcomes. *)
+  let joint (a : float array) (b : float array) =
+    Dut_dist.Pmf.create
+      [| a.(0) *. b.(0); a.(0) *. b.(1); a.(1) *. b.(0); a.(1) *. b.(1) |]
+  in
+  let p1 = [| 0.3; 0.7 |] and p2 = [| 0.6; 0.4 |] in
+  let q1 = [| 0.5; 0.5 |] and q2 = [| 0.2; 0.8 |] in
+  let lhs = Divergence.kl_bits (joint p1 p2) (joint q1 q2) in
+  let rhs =
+    Divergence.kl_product
+      [
+        Divergence.kl_bernoulli ~alpha:p1.(1) ~beta:q1.(1);
+        Divergence.kl_bernoulli ~alpha:p2.(1) ~beta:q2.(1);
+      ]
+  in
+  check_float_loose "Fact 6.2 joint" rhs lhs
+
+let test_kl_bernoulli_zero () =
+  check_float "same parameter" 0. (Divergence.kl_bernoulli ~alpha:0.37 ~beta:0.37)
+
+let test_kl_bernoulli_known () =
+  (* D(B(1/2) || B(1/4)) = 1 - 0.5 lg 3 ~ 0.20752 bits. *)
+  check_float_loose "known value" 0.2075
+    (Divergence.kl_bernoulli ~alpha:0.5 ~beta:0.25)
+
+let test_chi2_bound_dominates () =
+  let rng = Dut_prng.Rng.create 70 in
+  for _ = 1 to 500 do
+    let a = 0.001 +. (0.998 *. Dut_prng.Rng.unit_float rng) in
+    let b = 0.001 +. (0.998 *. Dut_prng.Rng.unit_float rng) in
+    if
+      Divergence.kl_bernoulli ~alpha:a ~beta:b
+      > Divergence.chi2_bound ~alpha:a ~beta:b +. 1e-9
+    then Alcotest.failf "Fact 6.3 violated at a=%f b=%f" a b
+  done
+
+let test_success_requirement () =
+  (* log2(3)/10 at delta = 1/3. *)
+  check_float_loose "delta=1/3" (log (3.) /. log 2. /. 10.)
+    (Divergence.success_divergence_requirement ~delta:(1. /. 3.));
+  Alcotest.check_raises "delta out of range"
+    (Invalid_argument "Divergence.success_divergence_requirement: delta out of (0,1)")
+    (fun () -> ignore (Divergence.success_divergence_requirement ~delta:1.5))
+
+let test_per_player_requirement_scales () =
+  let d1 = Divergence.required_divergence_per_player ~k:1 ~delta:0.1 in
+  let d10 = Divergence.required_divergence_per_player ~k:10 ~delta:0.1 in
+  check_float "inverse in k" d1 (10. *. d10)
+
+let test_budget_monotone_in_q () =
+  let b q = Divergence.divergence_budget_bound ~q ~n:1024 ~eps:0.25 in
+  Alcotest.(check bool) "increasing in q" true (b 10 < b 20 && b 20 < b 100)
+
+let test_budget_decreasing_in_n () =
+  let b n = Divergence.divergence_budget_bound ~q:50 ~n ~eps:0.25 in
+  Alcotest.(check bool) "decreasing in n" true (b 1024 > b 4096)
+
+let test_pinsker_bound () =
+  check_float "zero KL" 0. (Divergence.pinsker_tv_bound ~kl_bits:0.);
+  Alcotest.(check bool) "monotone" true
+    (Divergence.pinsker_tv_bound ~kl_bits:0.1
+    < Divergence.pinsker_tv_bound ~kl_bits:0.4)
+
+let prop_kl_bernoulli_nonneg =
+  QCheck.Test.make ~name:"Bernoulli KL is non-negative" ~count:300
+    QCheck.(pair (float_range 0.01 0.99) (float_range 0.01 0.99))
+    (fun (a, b) -> Divergence.kl_bernoulli ~alpha:a ~beta:b >= -1e-12)
+
+let () =
+  Alcotest.run "dut_info"
+    [
+      ( "divergence",
+        [
+          Alcotest.test_case "kl_bits alias" `Quick test_kl_bits_matches_distance;
+          Alcotest.test_case "additivity sum" `Quick test_kl_product_additivity;
+          Alcotest.test_case "additivity on joint" `Quick test_kl_product_matches_joint;
+          Alcotest.test_case "bernoulli zero" `Quick test_kl_bernoulli_zero;
+          Alcotest.test_case "bernoulli known" `Quick test_kl_bernoulli_known;
+          Alcotest.test_case "Fact 6.3 dominates" `Quick test_chi2_bound_dominates;
+          Alcotest.test_case "success requirement" `Quick test_success_requirement;
+          Alcotest.test_case "per-player scaling" `Quick test_per_player_requirement_scales;
+          Alcotest.test_case "budget monotone in q" `Quick test_budget_monotone_in_q;
+          Alcotest.test_case "budget decreasing in n" `Quick test_budget_decreasing_in_n;
+          Alcotest.test_case "pinsker" `Quick test_pinsker_bound;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_kl_bernoulli_nonneg ] );
+    ]

@@ -1,0 +1,344 @@
+(* Tests for the dut_prng library: generator determinism, splitting,
+   bounded draws, and the distributional sanity of the samplers. *)
+
+open Dut_prng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Splitmix ------------------------------------------------------- *)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 123L and b = Splitmix.create 123L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next_int64 a) (Splitmix.next_int64 b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Splitmix.create 1L and b = Splitmix.create 2L in
+  let xa = Splitmix.next_int64 a and xb = Splitmix.next_int64 b in
+  Alcotest.(check bool) "different seeds differ" true (xa <> xb)
+
+let test_splitmix_copy_independent () =
+  let a = Splitmix.create 7L in
+  let _ = Splitmix.next_int64 a in
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copy continues identically" (Splitmix.next_int64 a)
+    (Splitmix.next_int64 b)
+
+let test_splitmix_mix_nonzero () =
+  (* mix is a bijection-ish finalizer; it should not collapse small inputs. *)
+  let outs = List.init 64 (fun i -> Splitmix.mix (Int64.of_int i)) in
+  let distinct = List.sort_uniq compare outs in
+  Alcotest.(check int) "64 distinct outputs" 64 (List.length distinct)
+
+let test_splitmix_split_diverges () =
+  let a = Splitmix.create 99L in
+  let child = Splitmix.split a in
+  let xa = Splitmix.next_int64 a and xc = Splitmix.next_int64 child in
+  Alcotest.(check bool) "parent and child streams differ" true (xa <> xc)
+
+(* -- Xoshiro -------------------------------------------------------- *)
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.create 5L and b = Xoshiro.create 5L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro.next_int64 a) (Xoshiro.next_int64 b)
+  done
+
+let test_xoshiro_zero_state_rejected () =
+  Alcotest.check_raises "all-zero state"
+    (Invalid_argument "Xoshiro.of_state: all-zero state") (fun () ->
+      ignore (Xoshiro.of_state 0L 0L 0L 0L))
+
+let test_xoshiro_jump_changes_stream () =
+  let a = Xoshiro.create 11L in
+  let b = Xoshiro.copy a in
+  Xoshiro.jump b;
+  Alcotest.(check bool) "jumped stream differs" true
+    (Xoshiro.next_int64 a <> Xoshiro.next_int64 b)
+
+(* -- Rng ------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same ints" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 2 in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 1000 do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then
+          Alcotest.failf "Rng.int %d returned %d" bound v
+      done)
+    [ 1; 2; 3; 7; 100; 1023; 1024; 1025 ]
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "int_in out of range: %d" v
+  done
+
+let test_rng_int_covers_all_values () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 2000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 values seen" true (Array.for_all Fun.id seen)
+
+let test_rng_unit_float_range () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 10000 do
+    let x = Rng.unit_float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "unit_float out of range: %f" x
+  done
+
+let test_rng_unit_float_mean () =
+  let rng = Rng.create 7 in
+  let total = ref 0. in
+  let trials = 100000 in
+  for _ = 1 to trials do
+    total := !total +. Rng.unit_float rng
+  done;
+  let mean = !total /. float_of_int trials in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_rng_split_independence () =
+  (* Children must not mirror the parent or each other. *)
+  let parent = Rng.create 8 in
+  let c1 = Rng.split parent and c2 = Rng.split parent in
+  let s1 = Array.init 20 (fun _ -> Rng.bits64 c1) in
+  let s2 = Array.init 20 (fun _ -> Rng.bits64 c2) in
+  Alcotest.(check bool) "children differ" true (s1 <> s2)
+
+let test_rng_split_n () =
+  let rng = Rng.create 9 in
+  let children = Rng.split_n rng 10 in
+  Alcotest.(check int) "10 children" 10 (Array.length children);
+  let firsts = Array.map (fun c -> Rng.bits64 c) children in
+  let distinct = Array.to_list firsts |> List.sort_uniq compare in
+  Alcotest.(check int) "children start differently" 10 (List.length distinct)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+  done
+
+let test_bernoulli_mean () =
+  let rng = Rng.create 11 in
+  let count = ref 0 in
+  let trials = 50000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng 0.3 then incr count
+  done;
+  let mean = float_of_int !count /. float_of_int trials in
+  Alcotest.(check bool) "mean near 0.3" true (Float.abs (mean -. 0.3) < 0.01)
+
+let test_binomial_support () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 1000 do
+    let v = Rng.binomial rng 20 0.4 in
+    if v < 0 || v > 20 then Alcotest.failf "binomial out of support: %d" v
+  done
+
+let test_binomial_mean () =
+  let rng = Rng.create 13 in
+  let total = ref 0 in
+  let trials = 20000 in
+  for _ = 1 to trials do
+    total := !total + Rng.binomial rng 50 0.2
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  Alcotest.(check bool) "mean near np=10" true (Float.abs (mean -. 10.) < 0.2)
+
+let test_binomial_extremes () =
+  let rng = Rng.create 14 in
+  Alcotest.(check int) "p=0" 0 (Rng.binomial rng 100 0.);
+  Alcotest.(check int) "p=1" 100 (Rng.binomial rng 100 1.);
+  Alcotest.(check int) "n=0" 0 (Rng.binomial rng 0 0.5)
+
+let test_poisson_moments () =
+  let rng = Rng.create 25 in
+  List.iter
+    (fun lambda ->
+      let trials = 30000 in
+      let total = ref 0 and total_sq = ref 0 in
+      for _ = 1 to trials do
+        let v = Rng.poisson rng lambda in
+        total := !total + v;
+        total_sq := !total_sq + (v * v)
+      done;
+      let mean = float_of_int !total /. float_of_int trials in
+      let var = (float_of_int !total_sq /. float_of_int trials) -. (mean *. mean) in
+      (* Mean and variance both equal lambda. *)
+      if Float.abs (mean -. lambda) > 0.05 *. (lambda +. 1.) then
+        Alcotest.failf "poisson(%f) mean %f" lambda mean;
+      if Float.abs (var -. lambda) > 0.1 *. (lambda +. 1.) then
+        Alcotest.failf "poisson(%f) variance %f" lambda var)
+    [ 0.5; 3.; 20.; 100. ]
+
+let test_poisson_extremes () =
+  let rng = Rng.create 26 in
+  Alcotest.(check int) "lambda 0" 0 (Rng.poisson rng 0.);
+  Alcotest.check_raises "negative" (Invalid_argument "Rng.poisson: negative lambda")
+    (fun () -> ignore (Rng.poisson rng (-1.)))
+
+let test_geometric_mean () =
+  let rng = Rng.create 15 in
+  let total = ref 0 in
+  let trials = 20000 in
+  for _ = 1 to trials do
+    total := !total + Rng.geometric rng 0.25
+  done;
+  (* mean of failures-before-success = (1-p)/p = 3 *)
+  let mean = float_of_int !total /. float_of_int trials in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.) < 0.15)
+
+let test_geometric_p1 () =
+  let rng = Rng.create 16 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 is 0" 0 (Rng.geometric rng 1.)
+  done
+
+let test_geometric_invalid () =
+  let rng = Rng.create 17 in
+  Alcotest.check_raises "p=0" (Invalid_argument "Rng.geometric: p out of (0,1]")
+    (fun () -> ignore (Rng.geometric rng 0.))
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 18 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_moves_things () =
+  let rng = Rng.create 19 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle_in_place rng a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 100 Fun.id)
+
+let test_choose () =
+  let rng = Rng.create 20 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng a in
+    Alcotest.(check bool) "element of array" true (Array.mem v a)
+  done
+
+let test_choose_empty () =
+  let rng = Rng.create 21 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_sign_balance () =
+  let rng = Rng.create 22 in
+  let total = ref 0 in
+  for _ = 1 to 10000 do
+    total := !total + Rng.sign rng
+  done;
+  Alcotest.(check bool) "signs balance" true (abs !total < 300)
+
+let test_rademacher_vector () =
+  let rng = Rng.create 23 in
+  let v = Rng.rademacher_vector rng 256 in
+  Alcotest.(check int) "length" 256 (Array.length v);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "entries +-1" true (s = 1 || s = -1))
+    v
+
+let test_float_bound () =
+  let rng = Rng.create 24 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 3.5 in
+    if x < 0. || x >= 3.5 then Alcotest.failf "float out of range: %f" x
+  done;
+  check_float "float 0 bound" 0. (Rng.float rng 0.)
+
+(* -- qcheck properties ---------------------------------------------- *)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, b) ->
+      let bound = b + 1 in
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_split_deterministic =
+  QCheck.Test.make ~name:"splitting is deterministic in the seed" ~count:200
+    QCheck.small_int (fun seed ->
+      let mk () =
+        let r = Rng.create seed in
+        let c = Rng.split r in
+        (Rng.bits64 r, Rng.bits64 c)
+      in
+      mk () = mk ())
+
+let () =
+  Alcotest.run "dut_prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_splitmix_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_splitmix_copy_independent;
+          Alcotest.test_case "mix injective on small ints" `Quick test_splitmix_mix_nonzero;
+          Alcotest.test_case "split diverges" `Quick test_splitmix_split_diverges;
+        ] );
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "zero state rejected" `Quick test_xoshiro_zero_state_rejected;
+          Alcotest.test_case "jump" `Quick test_xoshiro_jump_changes_stream;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "int covers all values" `Quick test_rng_int_covers_all_values;
+          Alcotest.test_case "unit_float range" `Quick test_rng_unit_float_range;
+          Alcotest.test_case "unit_float mean" `Quick test_rng_unit_float_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "split_n" `Quick test_rng_split_n;
+          Alcotest.test_case "float bound" `Quick test_float_bound;
+        ] );
+      ( "samplers",
+        [
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli mean" `Quick test_bernoulli_mean;
+          Alcotest.test_case "binomial support" `Quick test_binomial_support;
+          Alcotest.test_case "binomial mean" `Quick test_binomial_mean;
+          Alcotest.test_case "binomial extremes" `Quick test_binomial_extremes;
+          Alcotest.test_case "poisson moments" `Quick test_poisson_moments;
+          Alcotest.test_case "poisson extremes" `Quick test_poisson_extremes;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+          Alcotest.test_case "geometric invalid" `Quick test_geometric_invalid;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_things;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "choose empty" `Quick test_choose_empty;
+          Alcotest.test_case "sign balance" `Quick test_sign_balance;
+          Alcotest.test_case "rademacher vector" `Quick test_rademacher_vector;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_bounds; prop_split_deterministic ] );
+    ]

@@ -1,0 +1,359 @@
+(* Tests for dut_stats: summaries, confidence intervals, tail quantiles,
+   the critical-parameter search, and power-law fitting. *)
+
+open Dut_stats
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-3))
+
+(* -- Summary ---------------------------------------------------------- *)
+
+let test_summary_basics () =
+  let s = Summary.of_array [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "mean" 3. s.mean;
+  check_float "variance" 2.5 s.variance;
+  check_float "min" 1. s.min;
+  check_float "max" 5. s.max;
+  Alcotest.(check int) "count" 5 s.count
+
+let test_summary_single_point () =
+  let s = Summary.of_array [| 7. |] in
+  check_float "mean" 7. s.mean;
+  check_float "variance 0" 0. s.variance
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty array")
+    (fun () -> ignore (Summary.of_array [||]))
+
+let test_quantile () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check_float "min" 1. (Summary.quantile a 0.);
+  check_float "max" 4. (Summary.quantile a 1.);
+  check_float "median" 2.5 (Summary.quantile a 0.5);
+  check_float "interpolated" 1.75 (Summary.quantile a 0.25)
+
+let test_quantile_unsorted_input () =
+  check_float "sorts internally" 2.5 (Summary.quantile [| 4.; 1.; 3.; 2. |] 0.5)
+
+let test_zscore () =
+  check_float "standard" 2. (Summary.zscore ~null_mean:10. ~null_std:5. 20.);
+  check_float "zero std equal" 0. (Summary.zscore ~null_mean:1. ~null_std:0. 1.);
+  Alcotest.(check bool) "zero std above" true
+    (Summary.zscore ~null_mean:1. ~null_std:0. 2. = infinity)
+
+(* -- Binomial_ci ------------------------------------------------------ *)
+
+let test_wilson_contains_estimate () =
+  let ci = Binomial_ci.wilson95 ~successes:30 ~trials:100 in
+  Alcotest.(check bool) "estimate inside" true
+    (ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+  check_float "estimate" 0.3 ci.estimate
+
+let test_wilson_extremes () =
+  let all = Binomial_ci.wilson95 ~successes:50 ~trials:50 in
+  Alcotest.(check bool) "upper at 1" true (all.upper <= 1.);
+  Alcotest.(check bool) "lower below 1" true (all.lower < 1.);
+  let none = Binomial_ci.wilson95 ~successes:0 ~trials:50 in
+  Alcotest.(check bool) "lower at 0" true (none.lower >= 0.);
+  Alcotest.(check bool) "upper above 0" true (none.upper > 0.)
+
+let test_wilson_narrows_with_trials () =
+  let small = Binomial_ci.wilson95 ~successes:5 ~trials:10 in
+  let large = Binomial_ci.wilson95 ~successes:500 ~trials:1000 in
+  Alcotest.(check bool) "narrower" true
+    (large.upper -. large.lower < small.upper -. small.lower)
+
+let test_wilson_errors () =
+  Alcotest.check_raises "trials" (Invalid_argument "Binomial_ci.wilson: trials <= 0")
+    (fun () -> ignore (Binomial_ci.wilson95 ~successes:0 ~trials:0));
+  Alcotest.check_raises "counts"
+    (Invalid_argument "Binomial_ci.wilson: inconsistent counts") (fun () ->
+      ignore (Binomial_ci.wilson95 ~successes:5 ~trials:3))
+
+let test_bound_helpers () =
+  Alcotest.(check bool) "clears" true
+    (Binomial_ci.lower_bound_clears ~successes:95 ~trials:100 ~threshold:0.8);
+  Alcotest.(check bool) "does not clear" false
+    (Binomial_ci.lower_bound_clears ~successes:70 ~trials:100 ~threshold:0.8);
+  Alcotest.(check bool) "below" true
+    (Binomial_ci.upper_bound_below ~successes:5 ~trials:100 ~threshold:0.2)
+
+(* -- Montecarlo ------------------------------------------------------- *)
+
+let test_estimate_prob () =
+  let rng = Dut_prng.Rng.create 80 in
+  let ci =
+    Montecarlo.estimate_prob ~trials:2000 rng (fun r ->
+        Dut_prng.Rng.unit_float r < 0.4)
+  in
+  Alcotest.(check bool) "near 0.4" true (Float.abs (ci.estimate -. 0.4) < 0.05)
+
+let test_estimate_mean () =
+  let rng = Dut_prng.Rng.create 81 in
+  let s = Montecarlo.estimate_mean ~trials:2000 rng Dut_prng.Rng.unit_float in
+  Alcotest.(check bool) "near 0.5" true (Float.abs (s.mean -. 0.5) < 0.05)
+
+(* -- Critical --------------------------------------------------------- *)
+
+let test_critical_exact () =
+  List.iter
+    (fun target ->
+      match Critical.search ~lo:1 ~hi:10000 (fun v -> v >= target) with
+      | Some v -> Alcotest.(check int) "finds the threshold" target v
+      | None -> Alcotest.fail "not found")
+    [ 1; 2; 3; 17; 100; 1024; 9999; 10000 ]
+
+let test_critical_not_found () =
+  Alcotest.(check (option int)) "unsatisfiable" None
+    (Critical.search ~lo:1 ~hi:100 (fun _ -> false))
+
+let test_critical_always_true () =
+  Alcotest.(check (option int)) "lo immediately" (Some 3)
+    (Critical.search ~lo:3 ~hi:100 (fun _ -> true))
+
+let test_critical_bad_bounds () =
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Critical.search: bad bounds")
+    (fun () -> ignore (Critical.search ~lo:5 ~hi:4 (fun _ -> true)))
+
+let test_critical_call_count () =
+  (* Logarithmically many probes: target 1000 in [1, 2^20] should need
+     well under 60 evaluations. *)
+  let calls = ref 0 in
+  let ok v =
+    incr calls;
+    v >= 1000
+  in
+  ignore (Critical.search ~lo:1 ~hi:(1 lsl 20) ok);
+  Alcotest.(check bool) "few calls" true (!calls < 60)
+
+let prop_critical_finds_threshold =
+  QCheck.Test.make ~name:"critical search = threshold for monotone predicates"
+    ~count:300
+    QCheck.(int_range 1 5000)
+    (fun target ->
+      Critical.search ~lo:1 ~hi:5000 (fun v -> v >= target) = Some target)
+
+(* -- Fit -------------------------------------------------------------- *)
+
+let test_linear_exact () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, (2. *. float_of_int i) +. 1.)) in
+  let f = Fit.linear pts in
+  check_float "slope" 2. f.slope;
+  check_float "intercept" 1. f.intercept;
+  check_float "r2" 1. f.r2
+
+let test_log_log_exact () =
+  let pts = Array.init 8 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 3. *. (x ** -0.5)))
+  in
+  let f = Fit.log_log pts in
+  check_float_loose "recovers the exponent" (-0.5) f.slope;
+  check_float_loose "recovers the constant" (log 3.) f.intercept
+
+let test_fit_errors () =
+  Alcotest.check_raises "too few" (Invalid_argument "Fit.linear: need at least 2 points")
+    (fun () -> ignore (Fit.linear [| (1., 1.) |]));
+  Alcotest.check_raises "zero variance" (Invalid_argument "Fit.linear: zero x-variance")
+    (fun () -> ignore (Fit.linear [| (1., 1.); (1., 2.) |]));
+  Alcotest.check_raises "log-log positivity"
+    (Invalid_argument "Fit.log_log: coordinates must be positive") (fun () ->
+      ignore (Fit.log_log [| (1., 1.); (-1., 2.) |]))
+
+(* -- Bootstrap ---------------------------------------------------------- *)
+
+let test_bootstrap_exact_power_law () =
+  (* Noise-free power law: the interval collapses onto the true slope. *)
+  let rng = Dut_prng.Rng.create 82 in
+  let pts = Array.init 8 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 5. *. (x ** -0.5)))
+  in
+  let ci = Bootstrap.exponent_ci rng pts in
+  Alcotest.(check (float 1e-6)) "estimate" (-0.5) ci.estimate;
+  Alcotest.(check bool) "tight interval" true
+    (ci.upper -. ci.lower < 1e-6)
+
+let test_bootstrap_noisy_power_law_covers () =
+  let rng = Dut_prng.Rng.create 83 in
+  let pts = Array.init 10 (fun i ->
+      let x = float_of_int (i + 1) in
+      let noise = 1. +. (0.2 *. (Dut_prng.Rng.unit_float rng -. 0.5)) in
+      (x, 3. *. (x ** -1.) *. noise))
+  in
+  let ci = Bootstrap.exponent_ci rng pts in
+  Alcotest.(check bool) "interval brackets estimate" true
+    (ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+  Alcotest.(check bool) "interval near the truth" true
+    (ci.lower < -0.7 && ci.upper > -1.3)
+
+let test_bootstrap_mean_ci () =
+  let rng = Dut_prng.Rng.create 84 in
+  let values = Array.init 200 (fun _ -> Dut_prng.Rng.unit_float rng) in
+  let ci = Bootstrap.mean_ci rng values in
+  Alcotest.(check bool) "covers 1/2" true (ci.lower < 0.5 && ci.upper > 0.5);
+  Alcotest.(check bool) "narrow for 200 points" true (ci.upper -. ci.lower < 0.1)
+
+let test_bootstrap_errors () =
+  let rng = Dut_prng.Rng.create 85 in
+  Alcotest.check_raises "few points"
+    (Invalid_argument "Bootstrap.exponent_ci: need at least 3 points") (fun () ->
+      ignore (Bootstrap.exponent_ci rng [| (1., 1.); (2., 2.) |]));
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Bootstrap.mean_ci: empty sample") (fun () ->
+      ignore (Bootstrap.mean_ci rng [||]))
+
+(* -- Tail ------------------------------------------------------------- *)
+
+let test_poisson_sf_known () =
+  (* P[Poisson(1) >= 1] = 1 - e^-1. *)
+  check_float_loose "lambda 1" (1. -. exp (-1.)) (Tail.poisson_sf ~lambda:1. 1);
+  check_float "c <= 0" 1. (Tail.poisson_sf ~lambda:5. 0);
+  check_float "lambda 0" 0. (Tail.poisson_sf ~lambda:0. 3)
+
+let test_poisson_sf_monotone () =
+  let prev = ref 1.1 in
+  for c = 0 to 20 do
+    let sf = Tail.poisson_sf ~lambda:4. c in
+    if sf > !prev +. 1e-12 then Alcotest.fail "sf must decrease";
+    prev := sf
+  done
+
+let test_poisson_isf () =
+  let c = Tail.poisson_isf ~lambda:2. ~p:0.05 in
+  Alcotest.(check bool) "cutoff achieves the level" true
+    (Tail.poisson_sf ~lambda:2. c <= 0.05);
+  Alcotest.(check bool) "cutoff is minimal" true
+    (c = 0 || Tail.poisson_sf ~lambda:2. (c - 1) > 0.05)
+
+let test_normal_cdf_known () =
+  check_float_loose "Phi(0)" 0.5 (Tail.normal_cdf 0.);
+  check_float_loose "Phi(1.96)" 0.975 (Tail.normal_cdf 1.96);
+  check_float_loose "Phi(-1.96)" 0.025 (Tail.normal_cdf (-1.96))
+
+let test_normal_isf_inverse () =
+  List.iter
+    (fun p -> check_float_loose "sf(isf(p)) = p" p (Tail.normal_sf (Tail.normal_isf p)))
+    [ 0.5; 0.1; 0.05; 0.01; 0.001 ]
+
+let test_binomial_sf_brute () =
+  (* Exact match against direct pmf summation for small k. *)
+  let k = 12 and p = 0.3 in
+  let binom n r =
+    let rec go acc i =
+      if i > r then acc
+      else go (acc *. float_of_int (n - i + 1) /. float_of_int i) (i + 1)
+    in
+    go 1. 1
+  in
+  for t = 0 to k + 1 do
+    let brute = ref 0. in
+    for i = max t 0 to k do
+      brute :=
+        !brute
+        +. binom k i *. (p ** float_of_int i)
+           *. ((1. -. p) ** float_of_int (k - i))
+    done;
+    check_float_loose (Printf.sprintf "t=%d" t) (Float.min 1. !brute)
+      (Tail.binomial_sf ~k ~p t)
+  done
+
+let test_binomial_sf_extremes () =
+  check_float "p=0" 0. (Tail.binomial_sf ~k:10 ~p:0. 1);
+  check_float "p=1" 1. (Tail.binomial_sf ~k:10 ~p:1. 10);
+  check_float "t=0" 1. (Tail.binomial_sf ~k:10 ~p:0.5 0);
+  check_float "t>k" 0. (Tail.binomial_sf ~k:10 ~p:0.5 11)
+
+let test_binomial_sf_large_k_no_underflow () =
+  (* The k=1024, p=0.5 median tail must be ~0.5, not garbage. *)
+  let sf = Tail.binomial_sf ~k:1024 ~p:0.5 512 in
+  Alcotest.(check bool) "median tail" true (Float.abs (sf -. 0.5) < 0.05)
+
+let test_binomial_max_p () =
+  let k = 32 and t = 4 in
+  let p = Tail.binomial_max_p ~k ~t ~level:0.25 in
+  Alcotest.(check bool) "achieves level" true
+    (Tail.binomial_sf ~k ~p t <= 0.25 +. 1e-6);
+  Alcotest.(check bool) "near-maximal" true
+    (Tail.binomial_sf ~k ~p:(p +. 0.01) t > 0.25)
+
+let test_binomial_max_p_t1 () =
+  (* For t=1: largest p with 1-(1-p)^k <= level, i.e. p = 1-(1-level)^(1/k). *)
+  let k = 16 in
+  let expected = 1. -. ((1. -. 0.25) ** (1. /. 16.)) in
+  check_float_loose "closed form" expected
+    (Tail.binomial_max_p ~k ~t:1 ~level:0.25)
+
+let test_count_cutoff_levels () =
+  (* The returned cutoff must push the Poisson tail under the level. *)
+  List.iter
+    (fun (mean, p) ->
+      let c = Tail.count_cutoff ~mean ~p in
+      if mean <= 50. then
+        Alcotest.(check bool) "tail below level" true
+          (Tail.poisson_sf ~lambda:mean c <= p))
+    [ (0.5, 0.1); (2., 0.01); (10., 0.001); (40., 0.05) ]
+
+let () =
+  Alcotest.run "dut_stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basics" `Quick test_summary_basics;
+          Alcotest.test_case "single point" `Quick test_summary_single_point;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "quantile unsorted" `Quick test_quantile_unsorted_input;
+          Alcotest.test_case "zscore" `Quick test_zscore;
+        ] );
+      ( "binomial_ci",
+        [
+          Alcotest.test_case "contains estimate" `Quick test_wilson_contains_estimate;
+          Alcotest.test_case "extremes" `Quick test_wilson_extremes;
+          Alcotest.test_case "narrows" `Quick test_wilson_narrows_with_trials;
+          Alcotest.test_case "errors" `Quick test_wilson_errors;
+          Alcotest.test_case "bound helpers" `Quick test_bound_helpers;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "estimate prob" `Quick test_estimate_prob;
+          Alcotest.test_case "estimate mean" `Quick test_estimate_mean;
+        ] );
+      ( "critical",
+        [
+          Alcotest.test_case "exact thresholds" `Quick test_critical_exact;
+          Alcotest.test_case "not found" `Quick test_critical_not_found;
+          Alcotest.test_case "always true" `Quick test_critical_always_true;
+          Alcotest.test_case "bad bounds" `Quick test_critical_bad_bounds;
+          Alcotest.test_case "call count" `Quick test_critical_call_count;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "linear exact" `Quick test_linear_exact;
+          Alcotest.test_case "log-log exact" `Quick test_log_log_exact;
+          Alcotest.test_case "errors" `Quick test_fit_errors;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "exact power law" `Quick test_bootstrap_exact_power_law;
+          Alcotest.test_case "noisy power law" `Quick test_bootstrap_noisy_power_law_covers;
+          Alcotest.test_case "mean ci" `Quick test_bootstrap_mean_ci;
+          Alcotest.test_case "errors" `Quick test_bootstrap_errors;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "poisson sf known" `Quick test_poisson_sf_known;
+          Alcotest.test_case "poisson sf monotone" `Quick test_poisson_sf_monotone;
+          Alcotest.test_case "poisson isf" `Quick test_poisson_isf;
+          Alcotest.test_case "normal cdf known" `Quick test_normal_cdf_known;
+          Alcotest.test_case "normal isf inverse" `Quick test_normal_isf_inverse;
+          Alcotest.test_case "binomial sf brute" `Quick test_binomial_sf_brute;
+          Alcotest.test_case "binomial sf extremes" `Quick test_binomial_sf_extremes;
+          Alcotest.test_case "binomial large k" `Quick test_binomial_sf_large_k_no_underflow;
+          Alcotest.test_case "binomial max p" `Quick test_binomial_max_p;
+          Alcotest.test_case "binomial max p t=1" `Quick test_binomial_max_p_t1;
+          Alcotest.test_case "count cutoff levels" `Quick test_count_cutoff_levels;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_critical_finds_threshold ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for dut_testers: statistics on crafted inputs, cutoff algebra,
+   and end-to-end power of each centralized tester on the hard family. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Collision -------------------------------------------------------- *)
+
+let test_collision_statistic () =
+  Alcotest.(check int) "no collisions" 0
+    (Dut_testers.Collision.statistic [| 0; 1; 2; 3 |] ~n:4);
+  Alcotest.(check int) "one pair" 1
+    (Dut_testers.Collision.statistic [| 0; 1; 0; 3 |] ~n:4);
+  (* 3 equal values = C(3,2) = 3 pairs. *)
+  Alcotest.(check int) "triple" 3
+    (Dut_testers.Collision.statistic [| 2; 2; 2 |] ~n:4);
+  Alcotest.(check int) "empty" 0 (Dut_testers.Collision.statistic [||] ~n:4)
+
+let test_collision_expectations () =
+  check_float "uniform mean" (45. /. 100.)
+    (Dut_testers.Collision.expected_uniform ~n:100 ~m:10);
+  check_float "far mean"
+    (45. *. 1.09 /. 100.)
+    (Dut_testers.Collision.expected_far ~n:100 ~m:10 ~eps:0.3);
+  Alcotest.(check bool) "cutoff between" true
+    (Dut_testers.Collision.cutoff ~n:100 ~m:10 ~eps:0.3
+     > Dut_testers.Collision.expected_uniform ~n:100 ~m:10
+    && Dut_testers.Collision.cutoff ~n:100 ~m:10 ~eps:0.3
+       < Dut_testers.Collision.expected_far ~n:100 ~m:10 ~eps:0.3)
+
+let power_check ?(ell = 5) name test_fn recommended =
+  (* Generic end-to-end power check for a centralized tester at its
+     recommended sample count. *)
+  let n = 1 lsl (ell + 1) in
+  let eps = 0.3 in
+  let m = recommended ~n ~eps in
+  let rng = Dut_prng.Rng.create 90 in
+  let trials = 120 in
+  let ok_unif = ref 0 and ok_far = ref 0 in
+  for _ = 1 to trials do
+    let r = Dut_prng.Rng.split rng in
+    let unif = Array.init m (fun _ -> Dut_prng.Rng.int r n) in
+    if test_fn ~n ~eps unif then incr ok_unif;
+    let d = Dut_dist.Paninski.random ~ell ~eps r in
+    if not (test_fn ~n ~eps (Dut_dist.Paninski.draw_many d r m)) then incr ok_far
+  done;
+  let fu = float_of_int !ok_unif /. float_of_int trials in
+  let ff = float_of_int !ok_far /. float_of_int trials in
+  if fu < 0.7 then Alcotest.failf "%s: uniform acceptance too low (%.2f)" name fu;
+  if ff < 0.7 then Alcotest.failf "%s: far rejection too low (%.2f)" name ff
+
+let test_collision_power () =
+  power_check "collision" Dut_testers.Collision.test
+    Dut_testers.Collision.recommended_samples
+
+let test_collision_accepts_uniform_small () =
+  (* Deterministic: all-distinct samples always accept. *)
+  Alcotest.(check bool) "distinct accept" true
+    (Dut_testers.Collision.test ~n:100 ~eps:0.3 (Array.init 10 Fun.id))
+
+(* -- Unique ----------------------------------------------------------- *)
+
+let test_unique_statistic () =
+  Alcotest.(check int) "all distinct" 4
+    (Dut_testers.Unique.statistic [| 0; 1; 2; 3 |] ~n:8);
+  Alcotest.(check int) "one repeated" 3
+    (Dut_testers.Unique.statistic [| 0; 0; 2; 3 |] ~n:8);
+  Alcotest.(check int) "all same" 1
+    (Dut_testers.Unique.statistic [| 5; 5; 5 |] ~n:8)
+
+let test_unique_expectations_ordering () =
+  (* Far distributions produce fewer distinct values, at every sample
+     size (concavity). *)
+  List.iter
+    (fun (n, m) ->
+      Alcotest.(check bool) "uniform > far" true
+        (Dut_testers.Unique.expected_uniform ~n ~m
+        > Dut_testers.Unique.expected_far ~n ~m ~eps:0.4))
+    [ (64, 40); (64, 500); (1024, 100); (1024, 10000) ]
+
+let test_unique_power () =
+  (* The coincidence tester needs the near-sparse regime sqrt(n)/eps^2
+     < n, hence the larger universe. *)
+  power_check ~ell:12 "unique" Dut_testers.Unique.test
+    Dut_testers.Unique.recommended_samples
+
+(* -- Chi_square ------------------------------------------------------- *)
+
+let test_chi2_statistic_uniform_counts () =
+  (* Perfectly balanced counts give statistic 0. *)
+  check_float "balanced" 0.
+    (Dut_testers.Chi_square.statistic [| 0; 1; 2; 3 |] ~n:4)
+
+let test_chi2_statistic_concentrated () =
+  (* All m samples on one of n elements: (m - m/n)^2/(m/n) + (n-1)(m/n). *)
+  let m = 8 and n = 4 in
+  let e = float_of_int m /. float_of_int n in
+  let expected = (((8. -. e) ** 2.) /. e) +. (3. *. e) in
+  check_float "concentrated" expected
+    (Dut_testers.Chi_square.statistic (Array.make m 0) ~n)
+
+let test_chi2_null_mean () =
+  check_float "n-1" 63. (Dut_testers.Chi_square.expected_uniform ~n:64 ~m:100)
+
+let test_chi2_power () =
+  power_check "chi2" Dut_testers.Chi_square.test
+    Dut_testers.Chi_square.recommended_samples
+
+(* -- Plugin_l1 -------------------------------------------------------- *)
+
+let test_plugin_statistic () =
+  (* Empirical [1/2, 1/2] vs uniform on 2: distance 0. *)
+  check_float "balanced" 0. (Dut_testers.Plugin_l1.statistic [| 0; 1 |] ~n:2);
+  (* All mass on one of two: |1 - 1/2| + |0 - 1/2| = 1. *)
+  check_float "concentrated" 1. (Dut_testers.Plugin_l1.statistic [| 0; 0 |] ~n:2)
+
+let test_plugin_power () =
+  power_check "plugin-l1" Dut_testers.Plugin_l1.test
+    Dut_testers.Plugin_l1.recommended_samples
+
+let test_plugin_needs_more_samples_than_collision () =
+  Alcotest.(check bool) "learning costs more" true
+    (Dut_testers.Plugin_l1.recommended_samples ~n:4096 ~eps:0.25
+    > 4 * Dut_testers.Collision.recommended_samples ~n:4096 ~eps:0.25)
+
+(* -- Poissonized -------------------------------------------------------- *)
+
+let test_poissonized_statistic () =
+  Alcotest.(check int) "counts to pairs" 4
+    (Dut_testers.Poissonized.collision_statistic [| 2; 3; 0; 1 |])
+
+let test_poissonized_counts_total () =
+  (* Total count concentrates around m. *)
+  let rng = Dut_prng.Rng.create 95 in
+  let pmf = Dut_dist.Pmf.uniform 64 in
+  let m = 2000 in
+  let counts = Dut_testers.Poissonized.draw_counts rng ~pmf ~mean_samples:m in
+  let total = Array.fold_left ( + ) 0 counts in
+  Alcotest.(check bool) "total near m" true (abs (total - m) < 300)
+
+let test_poissonized_expectations () =
+  check_float "null mean" 50. (Dut_testers.Poissonized.expected_uniform ~n:100 ~m:100);
+  Alcotest.(check bool) "far above null" true
+    (Dut_testers.Poissonized.expected_far ~n:100 ~m:100 ~eps:0.3
+    > Dut_testers.Poissonized.expected_uniform ~n:100 ~m:100)
+
+let test_poissonized_power_matches_fixed_m () =
+  (* The Poissonized collision tester works like the fixed-m one, once m
+     also clears the Poissonization floor ~1/eps^4 (the random total
+     adds m^1.5/n of statistic noise, so the m^2 eps^2/n gap needs
+     sqrt(m) >= ~1/eps^2 — the classical sqrt(n)/eps^2 vs 1/eps^4
+     crossover). *)
+  let ell = 5 in
+  let n = 1 lsl (ell + 1) in
+  let eps = 0.3 in
+  let m =
+    max
+      (Dut_testers.Collision.recommended_samples ~n ~eps)
+      (int_of_float (12. /. (eps ** 4.)))
+  in
+  let rng = Dut_prng.Rng.create 96 in
+  let trials = 120 in
+  let ok_unif = ref 0 and ok_far = ref 0 in
+  let uniform_pmf = Dut_dist.Pmf.uniform n in
+  for _ = 1 to trials do
+    let r = Dut_prng.Rng.split rng in
+    if Dut_testers.Poissonized.test ~n ~eps ~m r uniform_pmf then incr ok_unif;
+    let d = Dut_dist.Paninski.random ~ell ~eps r in
+    if not (Dut_testers.Poissonized.test ~n ~eps ~m r (Dut_dist.Paninski.pmf d))
+    then incr ok_far
+  done;
+  if float_of_int !ok_unif /. float_of_int trials < 0.7 then
+    Alcotest.failf "poissonized uniform acceptance too low (%d/%d)" !ok_unif trials;
+  if float_of_int !ok_far /. float_of_int trials < 0.7 then
+    Alcotest.failf "poissonized far rejection too low (%d/%d)" !ok_far trials
+
+(* -- Cross-tester sanity ----------------------------------------------- *)
+
+let test_recommended_samples_scale_with_n () =
+  List.iter
+    (fun recommended ->
+      Alcotest.(check bool) "monotone in n" true
+        (recommended ~n:1024 ~eps:0.3 > recommended ~n:256 ~eps:0.3))
+    [
+      Dut_testers.Collision.recommended_samples;
+      Dut_testers.Unique.recommended_samples;
+      Dut_testers.Chi_square.recommended_samples;
+      Dut_testers.Plugin_l1.recommended_samples;
+    ]
+
+let test_recommended_samples_scale_with_eps () =
+  List.iter
+    (fun recommended ->
+      Alcotest.(check bool) "monotone in 1/eps" true
+        (recommended ~n:1024 ~eps:0.1 > recommended ~n:1024 ~eps:0.4))
+    [
+      Dut_testers.Collision.recommended_samples;
+      Dut_testers.Unique.recommended_samples;
+      Dut_testers.Chi_square.recommended_samples;
+      Dut_testers.Plugin_l1.recommended_samples;
+    ]
+
+let prop_collision_statistic_vs_local_stat =
+  (* Two independent implementations (histogram-based and sort-based)
+     must agree. *)
+  QCheck.Test.make ~name:"collision statistic = sort-based count" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_bound 15))
+    (fun samples ->
+      let a = Array.of_list samples in
+      Dut_testers.Collision.statistic a ~n:16 = Dut_core.Local_stat.collisions a)
+
+let () =
+  Alcotest.run "dut_testers"
+    [
+      ( "collision",
+        [
+          Alcotest.test_case "statistic" `Quick test_collision_statistic;
+          Alcotest.test_case "expectations" `Quick test_collision_expectations;
+          Alcotest.test_case "power" `Slow test_collision_power;
+          Alcotest.test_case "accepts distinct" `Quick test_collision_accepts_uniform_small;
+        ] );
+      ( "unique",
+        [
+          Alcotest.test_case "statistic" `Quick test_unique_statistic;
+          Alcotest.test_case "ordering" `Quick test_unique_expectations_ordering;
+          Alcotest.test_case "power" `Slow test_unique_power;
+        ] );
+      ( "chi_square",
+        [
+          Alcotest.test_case "balanced counts" `Quick test_chi2_statistic_uniform_counts;
+          Alcotest.test_case "concentrated" `Quick test_chi2_statistic_concentrated;
+          Alcotest.test_case "null mean" `Quick test_chi2_null_mean;
+          Alcotest.test_case "power" `Slow test_chi2_power;
+        ] );
+      ( "plugin_l1",
+        [
+          Alcotest.test_case "statistic" `Quick test_plugin_statistic;
+          Alcotest.test_case "power" `Slow test_plugin_power;
+          Alcotest.test_case "costs more than collision" `Quick
+            test_plugin_needs_more_samples_than_collision;
+        ] );
+      ( "poissonized",
+        [
+          Alcotest.test_case "statistic" `Quick test_poissonized_statistic;
+          Alcotest.test_case "counts total" `Quick test_poissonized_counts_total;
+          Alcotest.test_case "expectations" `Quick test_poissonized_expectations;
+          Alcotest.test_case "power matches fixed-m" `Slow
+            test_poissonized_power_matches_fixed_m;
+        ] );
+      ( "cross",
+        [
+          Alcotest.test_case "scale with n" `Quick test_recommended_samples_scale_with_n;
+          Alcotest.test_case "scale with eps" `Quick test_recommended_samples_scale_with_eps;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_collision_statistic_vs_local_stat ] );
+    ]

@@ -1,12 +1,16 @@
 (* Benchmark harness.
 
-   Two halves:
+   Three parts:
 
    1. Regenerate every experiment table of EXPERIMENTS.md (fast profile)
       -- the reproduction itself. One table group per theorem/lemma.
    2. Bechamel micro-benchmarks of each experiment's computational
       kernel (one Test.make per experiment), so performance regressions
-      in the simulators are visible. *)
+      in the simulators are visible.
+   3. Engine bench: sequential vs parallel wall-clock for the heaviest
+      experiment kernels, recorded to results/bench_engine.json so the
+      perf trajectory is machine-readable across PRs. Run only this
+      part with `dune exec bench/main.exe -- --engine`. *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -111,24 +115,102 @@ let run_kernels () =
   print_endline "== kernel micro-benchmarks (Bechamel, ns/run) ==";
   List.iter
     (fun test ->
+      (* One measurement table and one OLS analysis per element list,
+         not a fresh singleton table per element. *)
+      let elts = Test.elements test in
+      let tbl = Hashtbl.create (List.length elts) in
       List.iter
         (fun elt ->
-          let raw = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
-          let tbl = Hashtbl.create 1 in
-          Hashtbl.replace tbl (Test.Elt.name elt) raw;
-          let results = Analyze.all ols Instance.monotonic_clock tbl in
-          Hashtbl.iter
-            (fun name ols_result ->
-              let ns =
+          Hashtbl.replace tbl (Test.Elt.name elt)
+            (Benchmark.run cfg Instance.[ monotonic_clock ] elt))
+        elts;
+      let results = Analyze.all ols Instance.monotonic_clock tbl in
+      List.iter
+        (fun elt ->
+          let name = Test.Elt.name elt in
+          let estimate =
+            match Hashtbl.find_opt results name with
+            | None -> None
+            | Some ols_result -> (
                 match Analyze.OLS.estimates ols_result with
-                | Some (estimate :: _) -> estimate
-                | Some [] | None -> Float.nan
-              in
-              Printf.printf "%-28s %14.1f ns/run\n%!" name ns)
-            results)
-        (Test.elements test))
+                | Some (e :: _) when not (Float.is_nan e) -> Some e
+                | Some _ | None -> None)
+          in
+          match estimate with
+          | Some ns -> Printf.printf "%-28s %14.1f ns/run\n%!" name ns
+          | None -> Printf.printf "%-28s %14s\n%!" name "n/a")
+        elts)
     tests
 
+(* -- Part 3: engine sequential-vs-parallel wall-clock ------------------- *)
+
+(* The three heaviest fast-profile experiment kernels (by measured
+   elapsed time of a full `run-all`). *)
+let engine_bench_ids = [ "A1-ablation"; "T13-local-model"; "T20-open-problem" ]
+
+let engine_bench_jobs = 4
+
+let time_run jobs exp =
+  let cfg =
+    Dut_experiments.Config.make ~jobs Dut_experiments.Config.Fast
+  in
+  Dut_engine.Parallel.set_default_jobs jobs;
+  let t0 = Unix.gettimeofday () in
+  ignore (exp.Dut_experiments.Exp.run cfg);
+  Unix.gettimeofday () -. t0
+
+let write_engine_json rows =
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let oc = open_out (Filename.concat "results" "bench_engine.json") in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"engine-seq-vs-parallel\",\n\
+    \  \"profile\": \"fast\",\n\
+    \  \"seed\": 2019,\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores_available\": %d,\n\
+    \  \"experiments\": [\n"
+    engine_bench_jobs
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (id, seq, par) ->
+      Printf.fprintf oc
+        "    { \"id\": %S, \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \
+         \"speedup\": %.3f }%s\n"
+        id seq par (seq /. par)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+let bench_engine () =
+  Printf.printf
+    "== engine: sequential vs parallel wall-clock (fast profile, %d cores \
+     available) ==\n\
+     %!"
+    (Domain.recommended_domain_count ());
+  let rows =
+    List.map
+      (fun id ->
+        match Dut_experiments.Registry.find id with
+        | None -> failwith ("bench_engine: unknown experiment " ^ id)
+        | Some exp ->
+            let seq = time_run 1 exp in
+            let par = time_run engine_bench_jobs exp in
+            Printf.printf
+              "%-18s seq %7.2fs   jobs=%d %7.2fs   speedup %5.2fx\n%!" id seq
+              engine_bench_jobs par (seq /. par);
+            (id, seq, par))
+      engine_bench_ids
+  in
+  Dut_engine.Parallel.set_default_jobs (Dut_engine.Parallel.env_jobs ());
+  write_engine_json rows;
+  print_endline "wrote results/bench_engine.json"
+
 let () =
-  regenerate_tables ();
-  run_kernels ()
+  let engine_only = Array.exists (( = ) "--engine") Sys.argv in
+  if not engine_only then begin
+    regenerate_tables ();
+    run_kernels ()
+  end;
+  bench_engine ()

@@ -1,8 +1,8 @@
 (* Command-line driver: list and run the reproduction experiments.
 
    dut list
-   dut run T1-any-rule [--profile fast|full] [--seed N] [--csv]
-   dut run-all [--profile ...] *)
+   dut run T1-any-rule [--profile fast|full] [--seed N] [--csv] [--jobs N]
+   dut run-all [--profile ...] [--jobs N] *)
 
 open Cmdliner
 
@@ -39,14 +39,31 @@ let trials_arg =
     & info [ "t"; "trials" ] ~docv:"TRIALS"
         ~doc:"Override the profile's Monte-Carlo trials per estimate.")
 
-let run_one ~profile ~seed ~csv ?trials id =
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Domains used by the execution engine (default: $(b,DUT_JOBS), \
+           else 1). Results are bit-identical for every value.")
+
+let no_timings_arg =
+  Arg.(
+    value & flag
+    & info [ "no-timings" ]
+        ~doc:
+          "Omit the wall-clock comment lines, making the output \
+           byte-reproducible across runs and jobs counts.")
+
+let run_one ~profile ~seed ~csv ~timings ?trials ?jobs id =
   match Dut_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `dut list`\n" id;
       exit 1
   | Some exp ->
-      let cfg = Dut_experiments.Config.make ~seed ?trials profile in
-      ignore (Dut_experiments.Runner.run_to_channel ~csv cfg exp stdout)
+      let cfg = Dut_experiments.Config.make ~seed ?trials ?jobs profile in
+      ignore (Dut_experiments.Runner.run_to_channel ~csv ~timings cfg exp stdout)
 
 let list_cmd =
   let doc = "List the available experiments." in
@@ -64,19 +81,28 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT-ID")
   in
-  let run profile seed csv trials id = run_one ~profile ~seed ~csv ?trials id in
+  let run profile seed csv trials jobs no_timings id =
+    run_one ~profile ~seed ~csv ~timings:(not no_timings) ?trials ?jobs id
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ id_arg)
+    Term.(
+      const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
+      $ no_timings_arg $ id_arg)
 
 let run_all_cmd =
-  let doc = "Run every experiment in the registry." in
-  let run profile seed csv trials =
-    List.iter
-      (fun e -> run_one ~profile ~seed ~csv ?trials e.Dut_experiments.Exp.id)
-      Dut_experiments.Registry.all
+  let doc =
+    "Run every experiment in the registry (up to --jobs concurrently)."
+  in
+  let run profile seed csv trials jobs no_timings =
+    let cfg = Dut_experiments.Config.make ~seed ?trials ?jobs profile in
+    ignore
+      (Dut_experiments.Runner.run_all_to_channel ~csv ~timings:(not no_timings)
+         cfg stdout)
   in
   Cmd.v (Cmd.info "run-all" ~doc)
-    Term.(const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg)
+    Term.(
+      const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
+      $ no_timings_arg)
 
 let bounds_cmd =
   let doc = "Print every bound of the paper for given parameters." in
@@ -165,4 +191,11 @@ let main =
   Cmd.group (Cmd.info "dut" ~doc)
     [ list_cmd; run_cmd; run_all_cmd; bounds_cmd; verify_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Out-of-range option values (--trials 0, --jobs 0) surface as
+     Invalid_argument from Config.make; report them as CLI errors
+     rather than cmdliner's "internal error" backtrace. *)
+  try exit (Cmd.eval ~catch:false main)
+  with Invalid_argument msg ->
+    Printf.eprintf "dut: %s\n" msg;
+    exit Cmd.Exit.cli_error

@@ -13,11 +13,14 @@
 
 open Cmdliner
 
-let run n k eps q_opt epochs drift_at smoothing crash seed =
+let run n k eps q_opt epochs drift_at smoothing crash seed jobs =
   if drift_at < 1 || drift_at > epochs then begin
     Printf.eprintf "drift epoch must be within [1, epochs]\n";
     exit 1
   end;
+  (match jobs with
+  | Some j -> Dut_engine.Parallel.set_default_jobs j
+  | None -> ());
   let rng = Dut_prng.Rng.create seed in
   let ell =
     (* n must be a power of two >= 4 for the hard-family drift model. *)
@@ -110,12 +113,22 @@ let crash_arg =
 
 let seed_arg = Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Domains used to parallelise referee calibration (default: \
+           $(b,DUT_JOBS), else 1). Verdicts are bit-identical for every \
+           value.")
+
 let cmd =
   let doc = "Online uniformity-drift monitor built on the distributed tester." in
   Cmd.v
     (Cmd.info "dut-monitor" ~doc)
     Term.(
       const run $ n_arg $ k_arg $ eps_arg $ q_arg $ epochs_arg $ drift_arg
-      $ smoothing_arg $ crash_arg $ seed_arg)
+      $ smoothing_arg $ crash_arg $ seed_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,103 @@
+let env_jobs () =
+  match Sys.getenv_opt "DUT_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> 1)
+
+let default = Atomic.make (env_jobs ())
+
+let default_jobs () = Atomic.get default
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Parallel.set_default_jobs: jobs < 1";
+  Atomic.set default j
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some _ -> invalid_arg "Parallel: jobs < 1"
+
+let chunks ~n ~chunk =
+  if n < 0 then invalid_arg "Parallel.chunks: n < 0";
+  if chunk < 1 then invalid_arg "Parallel.chunks: chunk < 1";
+  let nchunks = (n + chunk - 1) / chunk in
+  Array.init nchunks (fun c ->
+      let lo = c * chunk in
+      (lo, min n (lo + chunk)))
+
+(* One process-wide pool shared by every combinator, created lazily and
+   resized when a different jobs count is requested. The jobs count is
+   scheduling-only, so reuse across callers is always sound. *)
+let pool_lock = Mutex.create ()
+
+let shared : Pool.t option ref = ref None
+
+let shutdown_shared_pool () =
+  Mutex.lock pool_lock;
+  (match !shared with Some p -> Pool.shutdown p | None -> ());
+  shared := None;
+  Mutex.unlock pool_lock
+
+let with_pool ~jobs f =
+  Mutex.lock pool_lock;
+  let pool =
+    match !shared with
+    | Some p when Pool.jobs p = jobs -> p
+    | prev ->
+        (match prev with Some p -> Pool.shutdown p | None -> ());
+        let p = Pool.create ~jobs in
+        shared := Some p;
+        p
+  in
+  Mutex.unlock pool_lock;
+  f pool
+
+(* Coarse chunks: enough tasks per domain for dynamic load balancing,
+   few enough that claiming stays cheap. Granularity never affects
+   results, only the schedule. *)
+let chunk_for ~n ~jobs = max 1 (n / (jobs * 4))
+
+(* Run [f_range lo hi -> 'a array] over the chunk ranges and concatenate
+   the per-chunk slices in chunk (= index) order. *)
+let chunked ~jobs ~n f_range =
+  let bounds = chunks ~n ~chunk:(chunk_for ~n ~jobs) in
+  let nchunks = Array.length bounds in
+  let parts = Array.make nchunks [||] in
+  with_pool ~jobs (fun pool ->
+      Pool.run pool ~tasks:nchunks (fun c ->
+          let lo, hi = bounds.(c) in
+          parts.(c) <- f_range lo hi));
+  Array.concat (Array.to_list parts)
+
+let map ?jobs f a =
+  let jobs = resolve_jobs jobs in
+  let n = Array.length a in
+  if jobs <= 1 || n <= 1 || Pool.in_task () then Array.map f a
+  else chunked ~jobs ~n (fun lo hi -> Array.init (hi - lo) (fun i -> f a.(lo + i)))
+
+let init ?jobs ~rng ~n f =
+  if n < 0 then invalid_arg "Parallel.init: n < 0";
+  let jobs = resolve_jobs jobs in
+  (* Pre-split one child stream per element, in index order, before any
+     task runs: the schedule can never touch the streams, and the
+     children are exactly those the sequential loop would draw. *)
+  let rngs = Array.init n (fun _ -> Dut_prng.Rng.split rng) in
+  if jobs <= 1 || n <= 1 || Pool.in_task () then
+    Array.mapi (fun i r -> f r i) rngs
+  else
+    chunked ~jobs ~n (fun lo hi ->
+        Array.init (hi - lo) (fun i -> f rngs.(lo + i) (lo + i)))
+
+(* [init] is shadowed by init_reduce's [~init] accumulator label. *)
+let init_array = init
+
+let init_reduce ?jobs ~rng ~n ~f ~init ~reduce =
+  Array.fold_left reduce init (init_array ?jobs ~rng ~n f)
+
+let count ?jobs ~rng ~n pred =
+  Array.fold_left
+    (fun acc hit -> if hit then acc + 1 else acc)
+    0
+    (init ?jobs ~rng ~n pred)

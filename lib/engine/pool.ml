@@ -1,0 +1,140 @@
+type job = {
+  f : int -> unit;
+  tasks : int;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  mutable completed : int;  (* guarded by the pool mutex *)
+  mutable failed : exn option;  (* first failure, guarded by the pool mutex *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;  (* a new job was posted, or the pool stops *)
+  job_done : Condition.t;  (* the current job finished *)
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  mutable shut : bool;
+}
+
+(* Per-domain nesting depth: > 0 while executing a pool task. Used to
+   route nested parallel calls to the inline sequential path instead of
+   blocking a worker on its own pool. *)
+let task_depth = Domain.DLS.new_key (fun () -> 0)
+
+let in_task () = Domain.DLS.get task_depth > 0
+
+let run_task j i =
+  Domain.DLS.set task_depth (Domain.DLS.get task_depth + 1);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set task_depth (Domain.DLS.get task_depth - 1))
+    (fun () -> j.f i)
+
+(* Claim and run tasks of [j] until its counter is exhausted. Callable
+   from workers and from the submitter alike. *)
+let drain t j =
+  let rec go () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.tasks then begin
+      (try run_task j i
+       with e ->
+         Mutex.lock t.mutex;
+         if j.failed = None then j.failed <- Some e;
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      j.completed <- j.completed + 1;
+      if j.completed = j.tasks then Condition.broadcast t.job_done;
+      Mutex.unlock t.mutex;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  (* Prefer a runnable job over stopping, so shutdown lets in-flight
+     work drain instead of abandoning it. *)
+  let rec await () =
+    match t.job with
+    | Some j when Atomic.get j.next < j.tasks -> Some j
+    | _ ->
+        if t.stop then None
+        else begin
+          Condition.wait t.has_work t.mutex;
+          await ()
+        end
+  in
+  match await () with
+  | None -> Mutex.unlock t.mutex
+  | Some j ->
+      Mutex.unlock t.mutex;
+      drain t j;
+      worker t
+
+(* The OCaml 5 runtime supports at most 128 domains (Max_domains); one
+   belongs to the submitter. Refuse early with a clear message instead
+   of dying in Domain.spawn with "failed to allocate domain". *)
+let max_jobs = 128
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  if jobs > max_jobs then
+    invalid_arg
+      (Printf.sprintf "Pool.create: jobs > %d (OCaml's domain limit)" max_jobs);
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      job_done = Condition.create ();
+      job = None;
+      stop = false;
+      workers = [||];
+      shut = false;
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let run_inline ~tasks f =
+  for i = 0 to tasks - 1 do
+    f i
+  done
+
+let run t ~tasks f =
+  if t.shut then invalid_arg "Pool.run: pool is shut down";
+  if tasks > 0 then
+    if t.jobs = 1 || tasks = 1 || in_task () then run_inline ~tasks f
+    else begin
+      let j = { f; tasks; next = Atomic.make 0; completed = 0; failed = None } in
+      Mutex.lock t.mutex;
+      while t.job <> None do
+        Condition.wait t.job_done t.mutex
+      done;
+      t.job <- Some j;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.mutex;
+      drain t j;
+      Mutex.lock t.mutex;
+      while j.completed < j.tasks do
+        Condition.wait t.job_done t.mutex
+      done;
+      t.job <- None;
+      (* Wake submitters queued behind this job. *)
+      Condition.broadcast t.job_done;
+      Mutex.unlock t.mutex;
+      match j.failed with Some e -> raise e | None -> ()
+    end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.shut then Mutex.unlock t.mutex
+  else begin
+    t.shut <- true;
+    t.stop <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+  end

@@ -1,0 +1,43 @@
+(** A fixed-size pool of worker domains with a chunked work queue.
+
+    [create ~jobs] spawns [jobs - 1] worker domains on OCaml 5 stdlib
+    primitives only ({!Domain}, {!Mutex}, {!Condition}); the submitting
+    domain participates in every job, so a pool of size 1 spawns no
+    domains and runs everything inline. One job is in flight at a time;
+    concurrent submitters queue on the job-done condition.
+
+    Task indices are claimed from a shared atomic counter, so the
+    {e schedule} is dynamic — but the combinators built on top (see
+    {!Parallel}) assign work and randomness by index and reduce in index
+    order, which makes every result independent of the schedule. *)
+
+type t
+
+val max_jobs : int
+(** Largest accepted [jobs]: OCaml 5's 128-domain runtime limit. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] builds a pool of total parallelism [jobs] (the
+    submitter plus [jobs - 1] spawned worker domains).
+
+    @raise Invalid_argument if [jobs < 1] or [jobs > max_jobs]. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with. *)
+
+val run : t -> tasks:int -> (int -> unit) -> unit
+(** [run t ~tasks f] executes [f 0 .. f (tasks - 1)], distributing
+    indices over the pool's domains, and returns once every task has
+    finished. If tasks raise, the first exception observed is re-raised
+    after the job drains. A call made from inside a pool task (see
+    {!in_task}) runs the tasks sequentially inline, so nested
+    data-parallelism never deadlocks and never over-subscribes.
+
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker domain; idempotent. An in-flight job
+    drains before the workers exit. *)
+
+val in_task : unit -> bool
+(** True while the calling domain is executing a pool task. *)

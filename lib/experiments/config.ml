@@ -6,13 +6,22 @@ type t = {
   trials : int;
   level : float;
   calibration_trials : int;
+  jobs : int;
 }
 
-let make ?(seed = 2019) ?trials profile =
+let make ?(seed = 2019) ?trials ?jobs profile =
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Config.make: jobs must be positive"
+    | Some j -> j
+    | None -> Dut_engine.Parallel.env_jobs ()
+  in
   let base =
     match profile with
-    | Fast -> { profile; seed; trials = 120; level = 0.72; calibration_trials = 200 }
-    | Full -> { profile; seed; trials = 240; level = 0.72; calibration_trials = 400 }
+    | Fast ->
+        { profile; seed; trials = 120; level = 0.72; calibration_trials = 200; jobs }
+    | Full ->
+        { profile; seed; trials = 240; level = 0.72; calibration_trials = 400; jobs }
   in
   match trials with
   | Some t when t <= 0 -> invalid_arg "Config.make: trials must be positive"

@@ -3,7 +3,8 @@
     Two parameter profiles: [Fast] keeps each experiment to seconds (used
     by [bench/main.exe] and CI); [Full] runs the sizes quoted in
     EXPERIMENTS.md. Everything is derived deterministically from the
-    seed. *)
+    seed — [jobs] affects only wall-clock time, never a result bit (see
+    {!Dut_engine.Parallel}). *)
 
 type profile = Fast | Full
 
@@ -13,12 +14,16 @@ type t = {
   trials : int;  (** Monte-Carlo rounds per probability estimate *)
   level : float;  (** success level demanded of both error sides *)
   calibration_trials : int;  (** uniform rounds for referee calibration *)
+  jobs : int;  (** domains used by the execution engine *)
 }
 
-val make : ?seed:int -> ?trials:int -> profile -> t
+val make : ?seed:int -> ?trials:int -> ?jobs:int -> profile -> t
 (** Defaults: seed 2019 (the paper's year), trials 120/240, level 0.72,
     calibration 200/400 for Fast/Full. [trials] overrides the profile's
-    Monte-Carlo budget. *)
+    Monte-Carlo budget; [jobs] defaults to the [DUT_JOBS] environment
+    variable, else 1.
+
+    @raise Invalid_argument if [trials] or [jobs] is non-positive. *)
 
 val rng : t -> Dut_prng.Rng.t
 (** A fresh root stream for this configuration. *)

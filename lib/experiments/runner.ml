@@ -1,20 +1,44 @@
-let run_to_channel ?(csv = false) cfg exp channel =
-  Printf.fprintf channel "# %s — %s\n# %s\n# profile=%s seed=%d\n%!"
-    exp.Exp.id exp.title exp.statement
+(* Experiments render into per-experiment buffers so that [run_all] can
+   execute the registry concurrently (one engine task per experiment)
+   while emitting output in registry order, byte-identical to the
+   sequential run. *)
+
+let render_to_buffer ?(csv = false) ~timings cfg exp =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "# %s — %s\n# %s\n# profile=%s seed=%d\n" exp.Exp.id
+    exp.title exp.statement
     (Config.profile_to_string cfg.Config.profile)
     cfg.seed;
   let started = Unix.gettimeofday () in
   let tables = exp.run cfg in
   List.iter
     (fun t ->
-      output_string channel (if csv then Table.to_csv t else Table.render t);
-      output_char channel '\n')
+      Buffer.add_string buf (if csv then Table.to_csv t else Table.render t);
+      Buffer.add_char buf '\n')
     tables;
   let elapsed = Unix.gettimeofday () -. started in
-  Printf.fprintf channel "# elapsed: %.1fs\n\n%!" elapsed;
+  if timings then Printf.bprintf buf "# elapsed: %.1fs\n\n" elapsed
+  else Buffer.add_char buf '\n';
+  (buf, elapsed)
+
+let run_to_channel ?csv ?(timings = true) cfg exp channel =
+  Dut_engine.Parallel.set_default_jobs cfg.Config.jobs;
+  let buf, elapsed = render_to_buffer ?csv ~timings cfg exp in
+  Buffer.output_buffer channel buf;
+  flush channel;
   elapsed
 
-let run_all_to_channel ?csv cfg channel =
-  List.fold_left
-    (fun total exp -> total +. run_to_channel ?csv cfg exp channel)
-    0. Registry.all
+let run_all_to_channel ?csv ?(timings = true) cfg channel =
+  (* Make Monte-Carlo loops inside a single experiment use cfg.jobs when
+     experiments themselves run one at a time (jobs taken by the map
+     below otherwise: nested calls fall back to inline execution). *)
+  Dut_engine.Parallel.set_default_jobs cfg.Config.jobs;
+  let exps = Array.of_list Registry.all in
+  let rendered =
+    Dut_engine.Parallel.map ~jobs:cfg.Config.jobs
+      (fun exp -> render_to_buffer ?csv ~timings cfg exp)
+      exps
+  in
+  Array.iter (fun (buf, _) -> Buffer.output_buffer channel buf) rendered;
+  flush channel;
+  Array.fold_left (fun total (_, elapsed) -> total +. elapsed) 0. rendered

@@ -1,10 +1,22 @@
 (** Shared experiment execution/printing used by the CLI and the bench
-    harness. *)
+    harness.
+
+    Both entry points honour [cfg.jobs] via {!Dut_engine.Parallel}:
+    [run_to_channel] parallelises the Monte-Carlo trials inside the
+    experiment, [run_all_to_channel] runs whole experiments concurrently
+    while buffering per-experiment output, so the bytes written — table
+    order and content — are identical for every jobs count. Only the
+    ["# elapsed"] timing lines vary run to run; pass [~timings:false] to
+    omit them when diffing outputs. *)
 
 val run_to_channel :
-  ?csv:bool -> Config.t -> Exp.t -> out_channel -> float
-(** Run one experiment, print its header, tables and elapsed time to the
-    channel; returns the elapsed seconds. *)
+  ?csv:bool -> ?timings:bool -> Config.t -> Exp.t -> out_channel -> float
+(** Run one experiment, print its header, tables and (unless
+    [timings:false]) elapsed time to the channel; returns the elapsed
+    seconds. *)
 
-val run_all_to_channel : ?csv:bool -> Config.t -> out_channel -> float
-(** Run the whole registry in order; returns total elapsed seconds. *)
+val run_all_to_channel :
+  ?csv:bool -> ?timings:bool -> Config.t -> out_channel -> float
+(** Run the whole registry, up to [cfg.jobs] experiments concurrently,
+    printing in registry order; returns total elapsed seconds (sum of
+    per-experiment times, not wall-clock). *)

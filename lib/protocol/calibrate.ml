@@ -1,13 +1,17 @@
-let null_quantile ~trials rng ~stat ~p =
+let null_quantile ?jobs ~trials rng ~stat ~p =
   if trials <= 0 then invalid_arg "Calibrate.null_quantile: trials <= 0";
-  let draws = Array.init trials (fun _ -> stat (Dut_prng.Rng.split rng)) in
+  let draws =
+    Dut_engine.Parallel.init ?jobs ~rng ~n:trials (fun r _ -> stat r)
+  in
   Dut_stats.Summary.quantile draws p
 
-let reject_count_cutoff ~trials rng ~rejects ~level =
+let reject_count_cutoff ?jobs ~trials rng ~rejects ~level =
   if trials <= 0 then invalid_arg "Calibrate.reject_count_cutoff: trials <= 0";
   if level <= 0. || level >= 1. then
     invalid_arg "Calibrate.reject_count_cutoff: level out of (0,1)";
-  let draws = Array.init trials (fun _ -> rejects (Dut_prng.Rng.split rng)) in
+  let draws =
+    Dut_engine.Parallel.init ?jobs ~rng ~n:trials (fun r _ -> rejects r)
+  in
   Array.sort compare draws;
   (* Smallest t with #(draws >= t) / trials <= level; scanning from the
      top of the sorted array. *)

@@ -4,16 +4,26 @@
     set its cutoffs by simulating itself under the null — standard
     practice, and the only "training" any tester here gets. Calibration
     always runs on a dedicated RNG stream, so calibration draws never
-    overlap evaluation draws. *)
+    overlap evaluation draws.
+
+    Null simulations run through {!Dut_engine.Parallel} with per-trial
+    streams pre-split in index order, so cutoffs are bit-identical for
+    every [jobs] count ([DUT_JOBS] or 1 when omitted). *)
 
 val null_quantile :
-  trials:int -> Dut_prng.Rng.t -> stat:(Dut_prng.Rng.t -> float) -> p:float -> float
+  ?jobs:int ->
+  trials:int ->
+  Dut_prng.Rng.t ->
+  stat:(Dut_prng.Rng.t -> float) ->
+  p:float ->
+  float
 (** [null_quantile ~trials rng ~stat ~p] simulates the statistic under
     the null [trials] times and returns its empirical [p]-quantile.
 
     @raise Invalid_argument if [trials <= 0] or p ∉ [0,1]. *)
 
 val reject_count_cutoff :
+  ?jobs:int ->
   trials:int ->
   Dut_prng.Rng.t ->
   rejects:(Dut_prng.Rng.t -> int) ->

@@ -1,11 +1,10 @@
-let estimate_prob ~trials rng event =
+let estimate_prob ?jobs ~trials rng event =
   if trials <= 0 then invalid_arg "Montecarlo.estimate_prob: trials <= 0";
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    if event (Dut_prng.Rng.split rng) then incr successes
-  done;
-  Binomial_ci.wilson95 ~successes:!successes ~trials
+  let successes =
+    Dut_engine.Parallel.count ?jobs ~rng ~n:trials (fun r _ -> event r)
+  in
+  Binomial_ci.wilson95 ~successes ~trials
 
-let estimate_mean ~trials rng f =
+let estimate_mean ?jobs ~trials rng f =
   if trials <= 0 then invalid_arg "Montecarlo.estimate_mean: trials <= 0";
-  Summary.of_array (Array.init trials (fun _ -> f (Dut_prng.Rng.split rng)))
+  Summary.of_array (Dut_engine.Parallel.init ?jobs ~rng ~n:trials (fun r _ -> f r))

@@ -1,13 +1,29 @@
-(** Monte-Carlo estimation of event probabilities. *)
+(** Monte-Carlo estimation of event probabilities.
+
+    Both estimators run their trials through {!Dut_engine.Parallel}:
+    child RNG streams are pre-split per trial in index order, so the
+    result is bit-identical for every [jobs] count (and identical to the
+    historical sequential loop). [jobs] defaults to the ambient
+    {!Dut_engine.Parallel.default_jobs}, i.e. [DUT_JOBS] or 1. *)
 
 val estimate_prob :
-  trials:int -> Dut_prng.Rng.t -> (Dut_prng.Rng.t -> bool) -> Binomial_ci.t
-(** [estimate_prob ~trials rng event] runs [event] on [trials] independent
-    child streams of [rng] and returns the Wilson 95% interval of the
-    success probability.
+  ?jobs:int ->
+  trials:int ->
+  Dut_prng.Rng.t ->
+  (Dut_prng.Rng.t -> bool) ->
+  Binomial_ci.t
+(** [estimate_prob ~trials rng event] runs [event] on [trials]
+    independent child streams of [rng] (up to [jobs] at a time) and
+    returns the Wilson 95% interval of the success probability. [event]
+    must draw randomness only from the stream it is handed.
 
     @raise Invalid_argument if [trials <= 0]. *)
 
 val estimate_mean :
-  trials:int -> Dut_prng.Rng.t -> (Dut_prng.Rng.t -> float) -> Summary.t
-(** Summary of [trials] evaluations of a random quantity. *)
+  ?jobs:int ->
+  trials:int ->
+  Dut_prng.Rng.t ->
+  (Dut_prng.Rng.t -> float) ->
+  Summary.t
+(** Summary of [trials] evaluations of a random quantity, parallelised
+    like {!estimate_prob}. *)

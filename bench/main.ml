@@ -142,52 +142,105 @@ let run_kernels () =
         elts)
     tests
 
-(* -- Part 3: engine sequential-vs-parallel wall-clock ------------------- *)
+(* -- Part 3: engine hot-path before/after wall-clock -------------------- *)
 
 (* The three heaviest fast-profile experiment kernels (by measured
    elapsed time of a full `run-all`). *)
 let engine_bench_ids = [ "A1-ablation"; "T13-local-model"; "T20-open-problem" ]
 
-let engine_bench_jobs = 4
+type meas = { seconds : float; trials : int; minor_words : float }
 
-let time_run jobs exp =
-  let cfg =
-    Dut_experiments.Config.make ~jobs Dut_experiments.Config.Fast
-  in
-  Dut_engine.Parallel.set_default_jobs jobs;
+(* Wall-clock, Monte-Carlo trials executed, and minor-heap words
+   allocated on the submitting domain (jobs is clamped to the host's
+   core count, so on a single-core runner this is all allocation). *)
+let instrumented run =
+  Dut_stats.Montecarlo.reset_trials_consumed ();
+  let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  ignore (exp.Dut_experiments.Exp.run cfg);
-  Unix.gettimeofday () -. t0
+  ignore (run ());
+  {
+    seconds = Unix.gettimeofday () -. t0;
+    trials = Dut_stats.Montecarlo.trials_consumed ();
+    minor_words = Gc.minor_words () -. mw0;
+  }
 
-let write_engine_json rows =
+(* "before" reproduces the hot path of the previous revision: fixed
+   trial budgets, cold searches, and — via [Scratch.set_reuse false] —
+   the legacy allocating kernels (per-player sample tuples, sort-based
+   collision counts, fresh hard instances, the tuple-message
+   single-sample referee). "after" is the current default. *)
+let bench_config ~quick ~hotpath =
+  (* 60, not lower: very noisy probes make the cold critical searches in
+     the "before" leg wander far past the true threshold, which costs
+     more wall-clock than the smaller per-probe budget saves. *)
+  let trials = if quick then Some 60 else None in
+  Dut_experiments.Config.make ?trials ~adaptive:hotpath ~warm_start:hotpath
+    Dut_experiments.Config.Fast
+
+let with_kernels ~hotpath f =
+  Dut_engine.Scratch.set_reuse hotpath;
+  Fun.protect ~finally:(fun () -> Dut_engine.Scratch.set_reuse true) f
+
+let run_experiment ~hotpath cfg exp =
+  Dut_engine.Parallel.set_default_jobs cfg.Dut_experiments.Config.jobs;
+  with_kernels ~hotpath (fun () ->
+      instrumented (fun () -> exp.Dut_experiments.Exp.run cfg))
+
+let run_all ~hotpath cfg =
+  Dut_engine.Parallel.set_default_jobs cfg.Dut_experiments.Config.jobs;
+  let devnull = open_out Filename.null in
+  Fun.protect
+    ~finally:(fun () -> close_out devnull)
+    (fun () ->
+      with_kernels ~hotpath (fun () ->
+          instrumented (fun () ->
+              Dut_experiments.Runner.run_all_to_channel ~timings:false cfg
+                devnull)))
+
+let engine_json_path = Filename.concat "results" "bench_engine.json"
+
+let write_engine_json ~quick ~jobs ~all_before ~all_after rows =
   if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
-  let oc = open_out (Filename.concat "results" "bench_engine.json") in
+  let oc = open_out engine_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"benchmark\": \"engine-seq-vs-parallel\",\n\
+    \  \"benchmark\": \"engine-hotpath\",\n\
     \  \"profile\": \"fast\",\n\
     \  \"seed\": 2019,\n\
+    \  \"quick\": %b,\n\
     \  \"jobs\": %d,\n\
     \  \"cores_available\": %d,\n\
+    \  \"run_all\": { \"before_seconds\": %.3f, \"after_seconds\": %.3f, \
+     \"speedup\": %.3f },\n\
     \  \"experiments\": [\n"
-    engine_bench_jobs
-    (Domain.recommended_domain_count ());
+    quick jobs
+    (Domain.recommended_domain_count ())
+    all_before.seconds all_after.seconds
+    (all_before.seconds /. all_after.seconds);
   List.iteri
-    (fun i (id, seq, par) ->
+    (fun i (id, before, after) ->
       Printf.fprintf oc
-        "    { \"id\": %S, \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \
-         \"speedup\": %.3f }%s\n"
-        id seq par (seq /. par)
+        "    { \"id\": %S, \"before_seconds\": %.3f, \"after_seconds\": %.3f, \
+         \"speedup\": %.3f,\n\
+        \      \"trials_before\": %d, \"trials_after\": %d, \
+         \"minor_words_before\": %.0f, \"minor_words_after\": %.0f }%s\n"
+        id before.seconds after.seconds
+        (before.seconds /. after.seconds)
+        before.trials after.trials before.minor_words after.minor_words
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
   close_out oc
 
-let bench_engine () =
+let bench_engine ~quick () =
+  let cfg_before = bench_config ~quick ~hotpath:false in
+  let cfg_after = bench_config ~quick ~hotpath:true in
   Printf.printf
-    "== engine: sequential vs parallel wall-clock (fast profile, %d cores \
-     available) ==\n\
+    "== engine: fixed-budget/cold-search vs adaptive/warm-start wall-clock \
+     (fast profile%s, jobs=%d, %d cores) ==\n\
      %!"
+    (if quick then ", quick" else "")
+    cfg_after.jobs
     (Domain.recommended_domain_count ());
   let rows =
     List.map
@@ -195,22 +248,218 @@ let bench_engine () =
         match Dut_experiments.Registry.find id with
         | None -> failwith ("bench_engine: unknown experiment " ^ id)
         | Some exp ->
-            let seq = time_run 1 exp in
-            let par = time_run engine_bench_jobs exp in
+            let before = run_experiment ~hotpath:false cfg_before exp in
+            let after = run_experiment ~hotpath:true cfg_after exp in
             Printf.printf
-              "%-18s seq %7.2fs   jobs=%d %7.2fs   speedup %5.2fx\n%!" id seq
-              engine_bench_jobs par (seq /. par);
-            (id, seq, par))
+              "%-18s before %7.2fs (%7d trials)   after %7.2fs (%7d trials)   \
+               speedup %5.2fx\n\
+               %!"
+              id before.seconds before.trials after.seconds after.trials
+              (before.seconds /. after.seconds);
+            (id, before, after))
       engine_bench_ids
   in
+  let all_before = run_all ~hotpath:false cfg_before in
+  let all_after = run_all ~hotpath:true cfg_after in
+  Printf.printf "%-18s before %7.2fs   after %7.2fs   speedup %5.2fx\n%!"
+    "run-all" all_before.seconds all_after.seconds
+    (all_before.seconds /. all_after.seconds);
   Dut_engine.Parallel.set_default_jobs (Dut_engine.Parallel.env_jobs ());
-  write_engine_json rows;
-  print_endline "wrote results/bench_engine.json"
+  write_engine_json ~quick ~jobs:cfg_after.jobs ~all_before ~all_after rows;
+  print_endline ("wrote " ^ engine_json_path)
+
+(* -- Schema check for results/bench_engine.json (`--check`) ------------- *)
+
+(* A dependency-free subset-of-JSON reader: objects, arrays, strings
+   (simple backslash escapes only), numbers, booleans. Just enough to
+   validate the file this harness writes. *)
+type json =
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Malformed of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then begin advance (); skip_ws () end
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' | '\\' | '/' -> Buffer.add_char b (peek ())
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' | 'f' | 'r' -> Buffer.add_char b ' '
+          | 'u' -> advance (); advance (); advance (); Buffer.add_char b '?'
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do advance () done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin pos := !pos + String.length lit; v end
+    else fail ("expected " ^ lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((key, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj name =
+  match obj with
+  | Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> raise (Malformed (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Malformed (Printf.sprintf "expected object holding %S" name))
+
+let want_num obj name =
+  match field obj name with
+  | Num f -> f
+  | _ -> raise (Malformed (Printf.sprintf "field %S: expected number" name))
+
+let want_str obj name =
+  match field obj name with
+  | Str s -> s
+  | _ -> raise (Malformed (Printf.sprintf "field %S: expected string" name))
+
+let want_bool obj name =
+  match field obj name with
+  | Bool b -> b
+  | _ -> raise (Malformed (Printf.sprintf "field %S: expected bool" name))
+
+let check_engine_json () =
+  let fail msg =
+    Printf.eprintf "%s: %s\n" engine_json_path msg;
+    exit 1
+  in
+  if not (Sys.file_exists engine_json_path) then fail "missing";
+  let ic = open_in_bin engine_json_path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match parse_json contents with
+  | exception Malformed msg -> fail msg
+  | root -> (
+      try
+        if want_str root "benchmark" <> "engine-hotpath" then
+          raise (Malformed "benchmark: expected \"engine-hotpath\"");
+        ignore (want_str root "profile");
+        ignore (want_num root "seed");
+        ignore (want_bool root "quick");
+        if want_num root "jobs" < 1. then raise (Malformed "jobs < 1");
+        if want_num root "cores_available" < 1. then
+          raise (Malformed "cores_available < 1");
+        let check_pair obj =
+          List.iter
+            (fun f ->
+              if want_num obj f < 0. then
+                raise (Malformed (f ^ ": negative time")))
+            [ "before_seconds"; "after_seconds" ];
+          ignore (want_num obj "speedup")
+        in
+        check_pair (field root "run_all");
+        (match field root "experiments" with
+        | Arr [] -> raise (Malformed "experiments: empty")
+        | Arr exps ->
+            List.iter
+              (fun e ->
+                ignore (want_str e "id");
+                check_pair e;
+                List.iter
+                  (fun f ->
+                    if want_num e f < 0. then
+                      raise (Malformed (f ^ ": negative count")))
+                  [
+                    "trials_before"; "trials_after"; "minor_words_before";
+                    "minor_words_after";
+                  ])
+              exps
+        | _ -> raise (Malformed "experiments: expected array"));
+        Printf.printf "%s: schema ok\n" engine_json_path
+      with Malformed msg -> fail msg)
 
 let () =
-  let engine_only = Array.exists (( = ) "--engine") Sys.argv in
-  if not engine_only then begin
-    regenerate_tables ();
-    run_kernels ()
-  end;
-  bench_engine ()
+  let has flag = Array.exists (( = ) flag) Sys.argv in
+  if has "--check" then check_engine_json ()
+  else begin
+    let engine_only = has "--engine" in
+    if not engine_only then begin
+      regenerate_tables ();
+      run_kernels ()
+    end;
+    bench_engine ~quick:(has "--quick") ()
+  end

@@ -48,6 +48,23 @@ let jobs_arg =
           "Domains used by the execution engine (default: $(b,DUT_JOBS), \
            else 1). Results are bit-identical for every value.")
 
+let no_adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "no-adaptive" ]
+        ~doc:
+          "Spend the full Monte-Carlo budget on every probe instead of \
+           stopping once the Wilson interval is decisive. Reproduces the \
+           fixed-budget runs of earlier revisions bit for bit.")
+
+let cold_search_arg =
+  Arg.(
+    value & flag
+    & info [ "cold-search" ]
+        ~doc:
+          "Disable warm-starting grid searches from the previous grid \
+           point's critical q; every point cold-doubles from 1.")
+
 let no_timings_arg =
   Arg.(
     value & flag
@@ -56,13 +73,17 @@ let no_timings_arg =
           "Omit the wall-clock comment lines, making the output \
            byte-reproducible across runs and jobs counts.")
 
-let run_one ~profile ~seed ~csv ~timings ?trials ?jobs id =
+let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ?trials ?jobs id
+    =
   match Dut_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `dut list`\n" id;
       exit 1
   | Some exp ->
-      let cfg = Dut_experiments.Config.make ~seed ?trials ?jobs profile in
+      let cfg =
+        Dut_experiments.Config.make ~seed ?trials ?jobs ~adaptive ~warm_start
+          profile
+      in
       ignore (Dut_experiments.Runner.run_to_channel ~csv ~timings cfg exp stdout)
 
 let list_cmd =
@@ -81,20 +102,25 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT-ID")
   in
-  let run profile seed csv trials jobs no_timings id =
-    run_one ~profile ~seed ~csv ~timings:(not no_timings) ?trials ?jobs id
+  let run profile seed csv trials jobs no_timings no_adaptive cold_search id =
+    run_one ~profile ~seed ~csv ~timings:(not no_timings)
+      ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) ?trials ?jobs
+      id
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
-      $ no_timings_arg $ id_arg)
+      $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ id_arg)
 
 let run_all_cmd =
   let doc =
     "Run every experiment in the registry (up to --jobs concurrently)."
   in
-  let run profile seed csv trials jobs no_timings =
-    let cfg = Dut_experiments.Config.make ~seed ?trials ?jobs profile in
+  let run profile seed csv trials jobs no_timings no_adaptive cold_search =
+    let cfg =
+      Dut_experiments.Config.make ~seed ?trials ?jobs
+        ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) profile
+    in
     ignore
       (Dut_experiments.Runner.run_all_to_channel ~csv ~timings:(not no_timings)
          cfg stdout)
@@ -102,7 +128,7 @@ let run_all_cmd =
   Cmd.v (Cmd.info "run-all" ~doc)
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
-      $ no_timings_arg)
+      $ no_timings_arg $ no_adaptive_arg $ cold_search_arg)
 
 let bounds_cmd =
   let doc = "Print every bound of the paper for given parameters." in

@@ -12,7 +12,9 @@ let make ~n ~eps ~k ~q =
 let local_cutoff t = t.cutoff
 
 let accepts t rng source =
-  let player ~index:_ _coins samples = Local_stat.collisions samples < t.cutoff in
+  let player ~index:_ _coins samples =
+    Local_stat.collisions_bounded ~n:t.n samples < t.cutoff
+  in
   let round =
     Dut_protocol.Network.round ~rng ~source ~k:t.k ~q:t.q ~player
       ~rule:Dut_protocol.Rule.And

@@ -1,6 +1,6 @@
 let collisions samples =
   let a = Array.copy samples in
-  Array.sort compare a;
+  Array.sort Int.compare a;
   let q = Array.length a in
   (* Sum C(run,2) over maximal runs of equal values. *)
   let total = ref 0 in
@@ -14,6 +14,26 @@ let collisions samples =
   done;
   if q > 0 then total := !total + (!run * (!run - 1) / 2);
   !total
+
+(* Largest universe for which the counting path (a per-domain
+   generation-stamped histogram) is used; beyond it the backing arrays
+   would outweigh the sort they replace. *)
+let hist_universe_limit = 1 lsl 16
+
+let collisions_bounded ~n samples =
+  if n <= 0 then invalid_arg "Local_stat.collisions_bounded: n <= 0";
+  if n > hist_universe_limit || not (Dut_engine.Scratch.reuse_enabled ()) then
+    collisions samples
+  else begin
+    (* Counting sort via scratch histogram: O(q) with zero allocation
+       (clearing is a generation bump, not an O(n) zeroing). Growing a
+       bucket from c-1 to c creates exactly c-1 new colliding pairs, so
+       one pass accumulates sum C(count,2). *)
+    let h = Dut_engine.Scratch.hist ~size:n in
+    let total = ref 0 in
+    Array.iter (fun v -> total := !total + Dut_engine.Scratch.bump h v - 1) samples;
+    !total
+  end
 
 let pairs q = float_of_int q *. float_of_int (q - 1) /. 2.
 
@@ -43,7 +63,7 @@ let alarm_cutoff ~n ~q ~false_alarm =
   end
 
 let vote_midpoint ~n ~q ~eps samples =
-  float_of_int (collisions samples) < midpoint_cutoff ~n ~q ~eps
+  float_of_int (collisions_bounded ~n samples) < midpoint_cutoff ~n ~q ~eps
 
 let vote_alarm ~n ~q ~false_alarm samples =
-  collisions samples < alarm_cutoff ~n ~q ~false_alarm
+  collisions_bounded ~n samples < alarm_cutoff ~n ~q ~false_alarm

@@ -12,6 +12,16 @@ val collisions : int array -> int
 (** Number of unordered equal pairs among the samples, by sorting a
     scratch copy: O(q log q), independent of the universe size. *)
 
+val collisions_bounded : n:int -> int array -> int
+(** Same count for samples drawn from the universe [0 .. n-1]. For
+    small universes (n ≤ 2^16) this is a counting sort through a
+    per-domain generation-stamped scratch histogram — O(q) time, zero
+    allocation, no O(n) clearing — and it falls back to {!collisions}
+    beyond. Always returns exactly what {!collisions} would.
+
+    @raise Invalid_argument if [n <= 0]; samples outside [0 .. n-1] are
+    undefined behaviour on the counting path. *)
+
 val null_mean : n:int -> q:int -> float
 (** E[collisions] for q uniform samples: C(q,2)/n. *)
 

@@ -21,7 +21,7 @@ let sum_round t rng source =
   let total = ref 0 in
   let messenger ~index:_ _coins samples =
     quantize_raw ~levels:t.levels ~null_mean:t.null_mean ~null_std:t.null_std
-      (Local_stat.collisions samples)
+      (Local_stat.collisions_bounded ~n:t.n samples)
   in
   let (_ : bool) =
     Dut_protocol.Network.round_messages ~rng ~source ~k:t.k ~q:t.q ~messenger

@@ -42,6 +42,7 @@ val accepts : t -> Dut_prng.Rng.t -> Dut_protocol.Network.source -> bool
 val tester : n:int -> eps:float -> k:int -> bits:int -> Evaluate.tester
 
 val critical_k :
+  ?adaptive:bool ->
   trials:int ->
   level:float ->
   rng:Dut_prng.Rng.t ->
@@ -49,8 +50,10 @@ val critical_k :
   eps:float ->
   bits:int ->
   ?hi:int ->
+  ?guess:int ->
   unit ->
   int option
 (** The least number of players at which the protocol succeeds (the
     quantity [1] trades off against ℓ); doubling + bisection like
-    {!Evaluate.critical_q}. *)
+    {!Evaluate.critical_q}, with the same [?adaptive] stopping and
+    [?guess] warm-started bracketing. *)

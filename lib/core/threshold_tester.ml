@@ -53,7 +53,8 @@ let accepts t rng source =
         fun ~index:_ _coins samples ->
           Local_stat.vote_midpoint ~n:t.n ~q:t.q ~eps:t.eps samples
     | Fixed { local_cutoff; _ } ->
-        fun ~index:_ _coins samples -> Local_stat.collisions samples < local_cutoff
+        fun ~index:_ _coins samples ->
+          Local_stat.collisions_bounded ~n:t.n samples < local_cutoff
   in
   let rule = Dut_protocol.Rule.Reject_threshold (referee_cutoff t) in
   let round = Dut_protocol.Network.round ~rng ~source ~k:t.k ~q:t.q ~player ~rule in

@@ -13,6 +13,32 @@ let create ~ell ~eps ~z =
 let random ~ell ~eps rng =
   create ~ell ~eps ~z:(Dut_prng.Rng.rademacher_vector rng (1 lsl ell))
 
+(* One scratch z-buffer per (domain, ell): the Monte-Carlo hot path
+   draws a fresh hard instance per trial, and rebuilding the O(2^ell)
+   vector in place avoids that allocation entirely. Indexed by ell
+   (bounded by 20) so interleaved use at different sizes — e.g. a
+   bench at ell = 7 and ell = 2 — never churns. *)
+let scratch_z = Domain.DLS.new_key (fun () -> Array.make 21 [||])
+
+let random_scratch ~ell ~eps rng =
+  if ell < 0 || ell > 20 then invalid_arg "Paninski.random_scratch: ell out of [0,20]";
+  if eps < 0. || eps >= 1. then invalid_arg "Paninski.random_scratch: eps out of [0,1)";
+  if not (Dut_engine.Scratch.reuse_enabled ()) then random ~ell ~eps rng
+  else
+  let m = 1 lsl ell in
+  let slots = Domain.DLS.get scratch_z in
+  let z =
+    if Array.length slots.(ell) = m then slots.(ell)
+    else begin
+      let b = Array.make m 1 in
+      slots.(ell) <- b;
+      b
+    end
+  in
+  (* Same draws, in the same order, as [random]. *)
+  Dut_prng.Rng.rademacher_vector_into rng z;
+  { ell; eps; z }
+
 let all_plus ~ell ~eps = create ~ell ~eps ~z:(Array.make (1 lsl ell) 1)
 
 let ell t = t.ell
@@ -38,6 +64,11 @@ let draw t rng =
   encode ~x ~s
 
 let draw_many t rng q = Array.init q (fun _ -> draw t rng)
+
+let draw_many_into t rng buf =
+  for i = 0 to Array.length buf - 1 do
+    buf.(i) <- draw t rng
+  done
 
 let tuple_prob t tuple =
   Array.fold_left (fun acc i -> acc *. prob t i) 1. tuple

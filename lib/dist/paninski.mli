@@ -26,6 +26,17 @@ val random : ell:int -> eps:float -> Dut_prng.Rng.t -> t
 (** ν_z for a uniformly random perturbation z — the adversary of all the
     lower bounds. *)
 
+val random_scratch : ell:int -> eps:float -> Dut_prng.Rng.t -> t
+(** Exactly {!random} — same draws, same distribution — but the
+    perturbation vector lives in a per-domain scratch buffer instead of
+    a fresh allocation, so the Monte-Carlo loops that draw a new hard
+    instance {e per trial} allocate nothing. The returned instance is
+    valid until the next [random_scratch] call at the same [ell] on the
+    same domain; use {!random} when the instance must outlive the
+    trial.
+
+    @raise Invalid_argument as {!random}. *)
+
 val all_plus : ell:int -> eps:float -> t
 (** The fixed member with z ≡ +1; a convenient deterministic ε-far
     distribution. *)
@@ -60,6 +71,10 @@ val draw : t -> Dut_prng.Rng.t -> int
 
 val draw_many : t -> Dut_prng.Rng.t -> int -> int array
 (** [q] iid samples. *)
+
+val draw_many_into : t -> Dut_prng.Rng.t -> int array -> unit
+(** Fill a caller-owned buffer with iid samples — the allocation-free
+    {!draw_many}. *)
 
 val tuple_prob : t -> int array -> float
 (** ν_z^q of a tuple of encoded elements: the product law of Section 3. *)

@@ -41,4 +41,9 @@ let draw t rng =
 
 let draw_many t rng q = Array.init q (fun _ -> draw t rng)
 
+let draw_many_into t rng buf =
+  for i = 0 to Array.length buf - 1 do
+    buf.(i) <- draw t rng
+  done
+
 let pmf t = t.pmf

@@ -16,5 +16,10 @@ val draw : t -> Dut_prng.Rng.t -> int
 val draw_many : t -> Dut_prng.Rng.t -> int -> int array
 (** [draw_many t rng q] is [q] iid samples. *)
 
+val draw_many_into : t -> Dut_prng.Rng.t -> int array -> unit
+(** [draw_many_into t rng buf] fills [buf] with iid samples, drawing
+    the same stream [draw_many t rng (Array.length buf)] would. The
+    allocation-free variant for reusable scratch buffers. *)
+
 val pmf : t -> Pmf.t
 (** The pmf this sampler was built from. *)

@@ -15,8 +15,8 @@ let set_default_jobs j =
   Atomic.set default j
 
 let resolve_jobs = function
-  | None -> default_jobs ()
-  | Some j when j >= 1 -> j
+  | None -> Pool.effective_jobs (default_jobs ())
+  | Some j when j >= 1 -> Pool.effective_jobs j
   | Some _ -> invalid_arg "Parallel: jobs < 1"
 
 let chunks ~n ~chunk =

@@ -17,8 +17,11 @@
 
     [jobs] defaults to the ambient value (see {!set_default_jobs}),
     which is initialised from the [DUT_JOBS] environment variable, else
-    1. Calls made from inside a pool task run sequentially inline, so
-    nesting is safe and never over-subscribes the machine. *)
+    1. Every jobs count — explicit or ambient — is clamped to the
+    host's recommended domain count (see {!Pool.effective_jobs}):
+    oversubscription cannot change a result, only slow it down. Calls
+    made from inside a pool task run sequentially inline, so nesting is
+    safe and never over-subscribes the machine. *)
 
 val env_jobs : unit -> int
 (** Parse [DUT_JOBS] (a positive integer) from the environment; 1 when

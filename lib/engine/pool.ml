@@ -76,11 +76,28 @@ let rec worker t =
    of dying in Domain.spawn with "failed to allocate domain". *)
 let max_jobs = 128
 
+(* Oversubscribing a host buys only domain-synchronisation overhead
+   (results are jobs-invariant anyway), so requests beyond the
+   recommended domain count are clamped. Warn once per process. *)
+let clamp_warned = Atomic.make false
+
+let effective_jobs jobs =
+  let cores = Domain.recommended_domain_count () in
+  if jobs <= cores then jobs
+  else begin
+    if not (Atomic.exchange clamp_warned true) then
+      Printf.eprintf
+        "dut: clamping jobs %d -> %d (recommended domain count of this host)\n%!"
+        jobs cores;
+    cores
+  end
+
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
   if jobs > max_jobs then
     invalid_arg
       (Printf.sprintf "Pool.create: jobs > %d (OCaml's domain limit)" max_jobs);
+  let jobs = effective_jobs jobs in
   let t =
     {
       jobs;
@@ -98,10 +115,17 @@ let create ~jobs =
 
 let jobs t = t.jobs
 
+(* The inline path keeps the same [in_task] contract as worker
+   execution, so task code observes identical state whether the pool
+   was clamped to one domain or not. *)
 let run_inline ~tasks f =
-  for i = 0 to tasks - 1 do
-    f i
-  done
+  Domain.DLS.set task_depth (Domain.DLS.get task_depth + 1);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set task_depth (Domain.DLS.get task_depth - 1))
+    (fun () ->
+      for i = 0 to tasks - 1 do
+        f i
+      done)
 
 let run t ~tasks f =
   if t.shut then invalid_arg "Pool.run: pool is shut down";

@@ -16,9 +16,17 @@ type t
 val max_jobs : int
 (** Largest accepted [jobs]: OCaml 5's 128-domain runtime limit. *)
 
+val effective_jobs : int -> int
+(** [effective_jobs jobs] is [jobs] clamped to
+    [Domain.recommended_domain_count ()]. Oversubscription buys only
+    synchronisation overhead (results are jobs-invariant), so every
+    jobs request in the engine goes through this clamp; the first
+    clamping prints a one-line note to stderr. *)
+
 val create : jobs:int -> t
-(** [create ~jobs] builds a pool of total parallelism [jobs] (the
-    submitter plus [jobs - 1] spawned worker domains).
+(** [create ~jobs] builds a pool of total parallelism
+    [effective_jobs jobs] (the submitter plus the spawned worker
+    domains).
 
     @raise Invalid_argument if [jobs < 1] or [jobs > max_jobs]. *)
 

@@ -1,0 +1,71 @@
+(* Per-domain scratch arenas. Every structure here lives in domain-local
+   storage: no locks, no sharing, and — because pool tasks never migrate
+   between domains mid-task — no interference between concurrent trials.
+   Reuse never changes a computed value, only where intermediate words
+   live, so the engine's determinism contract is untouched. *)
+
+type arena = {
+  free : (int, int array list ref) Hashtbl.t;
+      (* exact length -> free list of released buffers *)
+  mutable counts : int array;  (* histogram counts, valid where stamped *)
+  mutable stamp : int array;  (* generation stamp per histogram cell *)
+  mutable gen : int;  (* current histogram generation *)
+}
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      { free = Hashtbl.create 16; counts = [||]; stamp = [||]; gen = 0 })
+
+let arena () = Domain.DLS.get arena_key
+
+(* Process-wide switch between the scratch hot paths and the legacy
+   allocating kernels they replaced. Results are identical either way;
+   the engine benchmark flips it off to measure an honest "before". *)
+let reuse = Atomic.make true
+
+let set_reuse b = Atomic.set reuse b
+
+let reuse_enabled () = Atomic.get reuse
+
+let borrow ~len =
+  if len < 0 then invalid_arg "Scratch.borrow: len < 0";
+  if len = 0 then [||]
+  else if not (Atomic.get reuse) then Array.make len 0
+  else
+    let a = arena () in
+    match Hashtbl.find_opt a.free len with
+    | Some ({ contents = buf :: rest } as cell) ->
+        cell := rest;
+        buf
+    | Some { contents = [] } | None -> Array.make len 0
+
+let release buf =
+  let len = Array.length buf in
+  if len > 0 && Atomic.get reuse then begin
+    let a = arena () in
+    match Hashtbl.find_opt a.free len with
+    | Some cell -> cell := buf :: !cell
+    | None -> Hashtbl.add a.free len (ref [ buf ])
+  end
+
+type hist = arena
+
+let hist ~size =
+  if size <= 0 then invalid_arg "Scratch.hist: size <= 0";
+  let a = arena () in
+  if Array.length a.counts < size then begin
+    (* Grow once; stale stamps are impossible because the fresh stamp
+       array starts below any generation ever issued. *)
+    a.counts <- Array.make size 0;
+    a.stamp <- Array.make size (-1)
+  end;
+  a.gen <- a.gen + 1;
+  a
+
+let bump h v =
+  let c = if h.stamp.(v) = h.gen then h.counts.(v) + 1 else 1 in
+  h.counts.(v) <- c;
+  h.stamp.(v) <- h.gen;
+  c
+
+let count h v = if h.stamp.(v) = h.gen then h.counts.(v) else 0

@@ -7,21 +7,42 @@ type t = {
   level : float;
   calibration_trials : int;
   jobs : int;
+  adaptive : bool;
+  warm_start : bool;
 }
 
-let make ?(seed = 2019) ?trials ?jobs profile =
+let make ?(seed = 2019) ?trials ?jobs ?(adaptive = true) ?(warm_start = true)
+    profile =
   let jobs =
     match jobs with
     | Some j when j < 1 -> invalid_arg "Config.make: jobs must be positive"
-    | Some j -> j
-    | None -> Dut_engine.Parallel.env_jobs ()
+    | Some j -> Dut_engine.Pool.effective_jobs j
+    | None -> Dut_engine.Pool.effective_jobs (Dut_engine.Parallel.env_jobs ())
   in
   let base =
     match profile with
     | Fast ->
-        { profile; seed; trials = 120; level = 0.72; calibration_trials = 200; jobs }
+        {
+          profile;
+          seed;
+          trials = 120;
+          level = 0.72;
+          calibration_trials = 200;
+          jobs;
+          adaptive;
+          warm_start;
+        }
     | Full ->
-        { profile; seed; trials = 240; level = 0.72; calibration_trials = 400; jobs }
+        {
+          profile;
+          seed;
+          trials = 240;
+          level = 0.72;
+          calibration_trials = 400;
+          jobs;
+          adaptive;
+          warm_start;
+        }
   in
   match trials with
   | Some t when t <= 0 -> invalid_arg "Config.make: trials must be positive"

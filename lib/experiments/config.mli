@@ -15,13 +15,32 @@ type t = {
   level : float;  (** success level demanded of both error sides *)
   calibration_trials : int;  (** uniform rounds for referee calibration *)
   jobs : int;  (** domains used by the execution engine *)
+  adaptive : bool;
+      (** stop Monte-Carlo probes early once the Wilson interval is
+          decisive (see {!Dut_stats.Montecarlo.estimate_prob_adaptive}) *)
+  warm_start : bool;
+      (** seed each grid point's critical search from the previous
+          point's q* scaled by the theory exponent *)
 }
 
-val make : ?seed:int -> ?trials:int -> ?jobs:int -> profile -> t
+val make :
+  ?seed:int ->
+  ?trials:int ->
+  ?jobs:int ->
+  ?adaptive:bool ->
+  ?warm_start:bool ->
+  profile ->
+  t
 (** Defaults: seed 2019 (the paper's year), trials 120/240, level 0.72,
-    calibration 200/400 for Fast/Full. [trials] overrides the profile's
-    Monte-Carlo budget; [jobs] defaults to the [DUT_JOBS] environment
-    variable, else 1.
+    calibration 200/400 for Fast/Full, [adaptive] and [warm_start] both
+    on. [trials] overrides the profile's Monte-Carlo budget (it caps the
+    adaptive spend); [jobs] defaults to the [DUT_JOBS] environment
+    variable, else 1, and is clamped to the host's recommended domain
+    count ({!Dut_engine.Pool.effective_jobs}) — oversubscribing domains
+    only adds scheduling overhead, never speed.
+
+    Turning [adaptive]/[warm_start] off reproduces the fixed-budget,
+    cold-searched runs of earlier revisions bit for bit.
 
     @raise Invalid_argument if [trials] or [jobs] is non-positive. *)
 

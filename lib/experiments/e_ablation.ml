@@ -29,15 +29,21 @@ let run (cfg : Config.t) =
   in
   let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
   let level_rows =
+    (* q* grows with the demanded level: warm-start each level at the
+       previous (lower) level's answer. *)
+    let prev = ref None in
     List.map
       (fun level ->
+        let guess = if cfg.warm_start then !prev else None in
         let qstar =
-          Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level
-            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
+          Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive
+            ~trials:cfg.trials ~level
+            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi ?guess (fun q ->
               Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
                 ~calibration_trials:cfg.calibration_trials
                 ~rng:(Dut_prng.Rng.split rng))
         in
+        (match qstar with Some q -> prev := Some q | None -> ());
         [
           Table.Float level;
           (match qstar with Some q -> Table.Int q | None -> Table.Str "not found");

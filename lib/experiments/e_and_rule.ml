@@ -7,22 +7,49 @@ let run (cfg : Config.t) =
   in
   let n = 1 lsl (ell + 1) in
   let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
-  let critical make =
-    Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
-      ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi make
+  let critical ?guess make =
+    Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive ~trials:cfg.trials
+      ~level:cfg.level ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi ?guess make
   in
   let results =
-    List.map
-      (fun k ->
-        let q_and = critical (fun q -> Dut_core.And_tester.tester ~n ~eps ~k ~q) in
-        let q_maj =
-          critical (fun q ->
-              Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
-                ~calibration_trials:cfg.calibration_trials
-                ~rng:(Dut_prng.Rng.split rng))
-        in
-        (k, q_and, q_maj))
-      ks
+    (* Warm starts from the previous k: Thm 1.2 says the AND-rule q* is
+       flat in k (up to polylog), majority scales as k^(-1/2). *)
+    let _, rev =
+      List.fold_left
+        (fun (prev, acc) k ->
+          let guess_and, guess_maj =
+            match prev with
+            | Some (k0, a0, m0) when cfg.warm_start ->
+                ( Option.map (fun a -> max 1 a) a0,
+                  Option.map
+                    (fun m ->
+                      max 1
+                        (int_of_float
+                           (Float.round
+                              (float_of_int m
+                              *. sqrt (float_of_int k0 /. float_of_int k)))))
+                    m0 )
+            | _ -> (None, None)
+          in
+          let q_and =
+            critical ?guess:guess_and (fun q ->
+                Dut_core.And_tester.tester ~n ~eps ~k ~q)
+          in
+          let q_maj =
+            critical ?guess:guess_maj (fun q ->
+                Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
+                  ~calibration_trials:cfg.calibration_trials
+                  ~rng:(Dut_prng.Rng.split rng))
+          in
+          let prev =
+            match (q_and, q_maj) with
+            | None, None -> prev
+            | _ -> Some (k, q_and, q_maj)
+          in
+          (prev, (k, q_and, q_maj) :: acc))
+        (None, []) ks
+    in
+    List.rev rev
   in
   let fit extract =
     let pts =

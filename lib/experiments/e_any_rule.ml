@@ -8,17 +8,36 @@ let run (cfg : Config.t) =
   let n = 1 lsl (ell + 1) in
   let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
   let results =
-    List.map
-      (fun k ->
-        let qstar =
-          Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
-            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
-              Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
-                ~calibration_trials:cfg.calibration_trials
-                ~rng:(Dut_prng.Rng.split rng))
-        in
-        (k, qstar))
-      ks
+    (* Warm-start each k from the previous q* scaled by Theorem 1.1's
+       q* ∝ k^(-1/2), so the search brackets near the answer instead of
+       cold-doubling from 1. *)
+    let _, rev =
+      List.fold_left
+        (fun (prev, acc) k ->
+          let guess =
+            match prev with
+            | Some (k0, q0) when cfg.warm_start ->
+                Some
+                  (max 1
+                     (int_of_float
+                        (Float.round
+                           (float_of_int q0
+                           *. sqrt (float_of_int k0 /. float_of_int k)))))
+            | _ -> None
+          in
+          let qstar =
+            Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive
+              ~trials:cfg.trials ~level:cfg.level ~rng:(Dut_prng.Rng.split rng)
+              ~ell ~eps ~hi ?guess (fun q ->
+                Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
+                  ~calibration_trials:cfg.calibration_trials
+                  ~rng:(Dut_prng.Rng.split rng))
+          in
+          let prev = match qstar with Some q -> Some (k, q) | None -> prev in
+          (prev, (k, qstar) :: acc))
+        (None, []) ks
+    in
+    List.rev rev
   in
   let points =
     List.filter_map

@@ -14,15 +14,48 @@ let run (cfg : Config.t) =
     | Config.Fast -> ([ 5; 6; 7; 8 ], 0.3, 6, [ 0.2; 0.3; 0.4; 0.5 ])
     | Config.Full -> ([ 5; 6; 7; 8; 9; 10 ], 0.25, 8, [ 0.15; 0.2; 0.25; 0.3; 0.4; 0.5 ])
   in
-  let critical ~ell ~eps =
+  let critical ?guess ~ell ~eps () =
     let n = 1 lsl (ell + 1) in
     let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
-    Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
-      ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
-        centralized_tester ~n ~eps ~q)
+    Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive ~trials:cfg.trials
+      ~level:cfg.level ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi ?guess
+      (fun q -> centralized_tester ~n ~eps ~q)
   in
-  let n_sweep = List.map (fun ell -> (ell, critical ~ell ~eps:eps_fixed)) ells in
-  let eps_sweep = List.map (fun eps -> (eps, critical ~ell:ell_fixed ~eps)) epss in
+  (* Warm starts along both sweeps: m* ∝ sqrt(n) on the n grid,
+     m* ∝ eps^(-2) on the eps grid. *)
+  let scale f = max 1 (int_of_float (Float.round f)) in
+  let n_sweep =
+    let prev = ref None in
+    List.map
+      (fun ell ->
+        let guess =
+          match !prev with
+          | Some (ell0, m0) when cfg.warm_start ->
+              Some
+                (scale
+                   (float_of_int m0 *. (2. ** (float_of_int (ell - ell0) /. 2.))))
+          | _ -> None
+        in
+        let m = critical ?guess ~ell ~eps:eps_fixed () in
+        (match m with Some m -> prev := Some (ell, m) | None -> ());
+        (ell, m))
+      ells
+  in
+  let eps_sweep =
+    let prev = ref None in
+    List.map
+      (fun eps ->
+        let guess =
+          match !prev with
+          | Some (e0, m0) when cfg.warm_start ->
+              Some (scale (float_of_int m0 *. ((e0 /. eps) ** 2.)))
+          | _ -> None
+        in
+        let m = critical ?guess ~ell:ell_fixed ~eps () in
+        (match m with Some m -> prev := Some (eps, m) | None -> ());
+        (eps, m))
+      epss
+  in
   let fit pts =
     if List.length pts >= 2 then
       Dut_stats.Fit.power_law_exponent (Array.of_list pts)

@@ -7,23 +7,43 @@ let run (cfg : Config.t) =
   in
   let n = 1 lsl (ell + 1) in
   let results =
-    List.map
-      (fun eps ->
-        let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
-        let q_maj =
-          Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
-            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
-              Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
-                ~calibration_trials:cfg.calibration_trials
-                ~rng:(Dut_prng.Rng.split rng))
-        in
-        let q_and =
-          Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
-            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
-              Dut_core.And_tester.tester ~n ~eps ~k ~q)
-        in
-        (eps, q_maj, q_and))
-      epss
+    (* Warm-start along the eps grid with the shared q* ∝ eps^(-2). *)
+    let scale e0 e q0 =
+      max 1 (int_of_float (Float.round (float_of_int q0 *. (e0 /. e) ** 2.)))
+    in
+    let _, rev =
+      List.fold_left
+        (fun (prev, acc) eps ->
+          let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
+          let guess_maj, guess_and =
+            match prev with
+            | Some (e0, m0, a0) when cfg.warm_start ->
+                (Option.map (scale e0 eps) m0, Option.map (scale e0 eps) a0)
+            | _ -> (None, None)
+          in
+          let q_maj =
+            Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive
+              ~trials:cfg.trials ~level:cfg.level ~rng:(Dut_prng.Rng.split rng)
+              ~ell ~eps ~hi ?guess:guess_maj (fun q ->
+                Dut_core.Threshold_tester.tester_majority ~n ~eps ~k ~q
+                  ~calibration_trials:cfg.calibration_trials
+                  ~rng:(Dut_prng.Rng.split rng))
+          in
+          let q_and =
+            Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive
+              ~trials:cfg.trials ~level:cfg.level ~rng:(Dut_prng.Rng.split rng)
+              ~ell ~eps ~hi ?guess:guess_and (fun q ->
+                Dut_core.And_tester.tester ~n ~eps ~k ~q)
+          in
+          let prev =
+            match (q_maj, q_and) with
+            | None, None -> prev
+            | _ -> Some (eps, q_maj, q_and)
+          in
+          (prev, (eps, q_maj, q_and) :: acc))
+        (None, []) epss
+    in
+    List.rev rev
   in
   let fit extract =
     let pts =

@@ -11,12 +11,20 @@ let run (cfg : Config.t) =
       (fun eps ->
         let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
         let points =
+          (* The AND tester's q* is nearly flat in k: the previous grid
+             point's answer is already a tight warm-start bracket. *)
+          let prev = ref None in
           List.filter_map
             (fun k ->
-              Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
-                ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
-                  Dut_core.And_tester.tester ~n ~eps ~k ~q)
-              |> Option.map (fun q -> (float_of_int k, float_of_int q)))
+              let guess = if cfg.warm_start then !prev else None in
+              let qstar =
+                Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive
+                  ~trials:cfg.trials ~level:cfg.level
+                  ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi ?guess (fun q ->
+                    Dut_core.And_tester.tester ~n ~eps ~k ~q)
+              in
+              (match qstar with Some q -> prev := Some q | None -> ());
+              Option.map (fun q -> (float_of_int k, float_of_int q)) qstar)
             ks
         in
         if List.length points < 3 then

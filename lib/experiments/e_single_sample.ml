@@ -7,14 +7,41 @@ let run (cfg : Config.t) =
   in
   let n = 1 lsl (ell + 1) in
   let results =
-    List.map
-      (fun bits ->
-        let kstar =
-          Dut_core.Single_sample.critical_k ~trials:cfg.trials ~level:cfg.level
-            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~bits ~hi:(1 lsl 20) ()
-        in
-        (bits, kstar))
-      bits_list
+    (* Warm-start along the bits grid with [1]'s k* ∝ 2^(-l/2). A warm
+       grid is computed in DESCENDING bits order: k* shrinks with the
+       message size, so the one cold search runs at the cheapest grid
+       point and every pricier point inherits a scaled bracket. (A
+       probe's cost is itself ~k, so cold-searching at l=1 — the
+       largest k* — is the single most expensive step of the whole fast
+       profile.) With warm starts off every point is cold and order is
+       cost-neutral, so the historical ascending order is kept — this
+       is what lets `--cold-search` reproduce pre-overhaul records
+       stream for stream. *)
+    let order = if cfg.warm_start then List.rev bits_list else bits_list in
+    let _, acc =
+      List.fold_left
+        (fun (prev, acc) bits ->
+          let guess =
+            match prev with
+            | Some (b0, k0) when cfg.warm_start ->
+                Some
+                  (max 2
+                     (int_of_float
+                        (Float.round
+                           (float_of_int k0
+                           /. (2. ** (float_of_int (bits - b0) /. 2.))))))
+            | _ -> None
+          in
+          let kstar =
+            Dut_core.Single_sample.critical_k ~adaptive:cfg.adaptive
+              ~trials:cfg.trials ~level:cfg.level ~rng:(Dut_prng.Rng.split rng)
+              ~ell ~eps ~bits ~hi:(1 lsl 20) ?guess ()
+          in
+          let prev = match kstar with Some k -> Some (bits, k) | None -> prev in
+          (prev, (bits, kstar) :: acc))
+        (None, []) order
+    in
+    if cfg.warm_start then acc else List.rev acc
   in
   let points =
     List.filter_map

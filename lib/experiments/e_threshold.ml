@@ -8,15 +8,27 @@ let run (cfg : Config.t) =
   let n = 1 lsl (ell + 1) in
   let hi = 16 * int_of_float (Dut_core.Bounds.centralized ~n ~eps) in
   let results =
-    List.map
-      (fun t ->
-        let qstar =
-          Dut_core.Evaluate.critical_q ~trials:cfg.trials ~level:cfg.level
-            ~rng:(Dut_prng.Rng.split rng) ~ell ~eps ~hi (fun q ->
-              Dut_core.Threshold_tester.tester_fixed ~n ~eps ~k ~q ~t)
-        in
-        (t, qstar))
-      ts
+    (* Warm-start along the T grid with Theorem 1.3's q* ∝ 1/T. *)
+    let _, rev =
+      List.fold_left
+        (fun (prev, acc) t ->
+          let guess =
+            match prev with
+            | Some (t0, q0) when cfg.warm_start ->
+                Some (max 1 (q0 * t0 / t))
+            | _ -> None
+          in
+          let qstar =
+            Dut_core.Evaluate.critical_q ~adaptive:cfg.adaptive
+              ~trials:cfg.trials ~level:cfg.level ~rng:(Dut_prng.Rng.split rng)
+              ~ell ~eps ~hi ?guess (fun q ->
+                Dut_core.Threshold_tester.tester_fixed ~n ~eps ~k ~q ~t)
+          in
+          let prev = match qstar with Some q -> Some (t, q) | None -> prev in
+          (prev, (t, qstar) :: acc))
+        (None, []) ts
+    in
+    List.rev rev
   in
   let points =
     List.filter_map

@@ -122,3 +122,8 @@ let choose t a =
   a.(int t (Array.length a))
 
 let rademacher_vector t m = Array.init m (fun _ -> sign t)
+
+let rademacher_vector_into t z =
+  for i = 0 to Array.length z - 1 do
+    z.(i) <- sign t
+  done

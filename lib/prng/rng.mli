@@ -85,3 +85,9 @@ val choose : t -> 'a array -> 'a
 val rademacher_vector : t -> int -> int array
 (** [rademacher_vector t m] is an array of [m] independent uniform
     {-1,+1} entries — the perturbation vector z of the hard family. *)
+
+val rademacher_vector_into : t -> int array -> unit
+(** [rademacher_vector_into t z] overwrites [z] with independent
+    uniform {-1,+1} entries, drawing exactly the stream
+    [rademacher_vector t (Array.length z)] would — the allocation-free
+    variant for scratch buffers on the Monte-Carlo hot path. *)

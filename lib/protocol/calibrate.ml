@@ -12,7 +12,9 @@ let reject_count_cutoff ?jobs ~trials rng ~rejects ~level =
   let draws =
     Dut_engine.Parallel.init ?jobs ~rng ~n:trials (fun r _ -> rejects r)
   in
-  Array.sort compare draws;
+  (* Monomorphic int sort: same order as polymorphic [compare], without
+     the per-comparison generic dispatch. *)
+  Array.sort Int.compare draws;
   (* Smallest t with #(draws >= t) / trials <= level; scanning from the
      top of the sorted array. *)
   let budget = int_of_float (floor (level *. float_of_int trials)) in

@@ -6,35 +6,96 @@ type 'm messenger = index:int -> Dut_prng.Rng.t -> int array -> 'm
 
 type transcript = { votes : bool array; accept : bool }
 
-let draw_samples rng source q = Array.init q (fun _ -> source rng)
+(* Per-player sample tuples live in per-domain scratch buffers: the
+   uniform-q rounds borrow ONE q-word buffer per round and refill it k
+   times, instead of allocating k fresh tuples per trial. The draws —
+   and therefore every vote — are identical to the allocating path;
+   players receive the buffer only for the duration of their call (none
+   retains it). *)
+let fill_samples coins source q samples =
+  for j = 0 to q - 1 do
+    samples.(j) <- source coins
+  done
+
+(* Uniform-q rounds share this shape: borrow once, split per-player
+   coins in index order, refill, act. [with_round_buffer] keeps the
+   borrow/release exception-safe without a per-player closure. *)
+let with_round_buffer q use =
+  let samples = Dut_engine.Scratch.borrow ~len:q in
+  let result =
+    try use samples
+    with e ->
+      Dut_engine.Scratch.release samples;
+      raise e
+  in
+  Dut_engine.Scratch.release samples;
+  result
 
 let round_rates ~rng ~source ~qs ~player ~rule =
   let k = Array.length qs in
   if k <= 0 then invalid_arg "Network.round_rates: no players";
   Array.iter (fun q -> if q < 0 then invalid_arg "Network.round_rates: negative q") qs;
+  (* Tuple lengths vary per player here (the async experiment), so each
+     player borrows its own exact-length buffer. *)
   let votes =
     Array.init k (fun i ->
         let coins = Dut_prng.Rng.split rng in
-        let samples = draw_samples coins source qs.(i) in
-        player ~index:i coins samples)
+        with_round_buffer qs.(i) (fun samples ->
+            fill_samples coins source qs.(i) samples;
+            player ~index:i coins samples))
   in
   { votes; accept = Rule.apply rule votes }
 
 let round ~rng ~source ~k ~q ~player ~rule =
   if k <= 0 then invalid_arg "Network.round: k must be positive";
   if q < 0 then invalid_arg "Network.round: q must be non-negative";
-  round_rates ~rng ~source ~qs:(Array.make k q) ~player ~rule
+  if not (Dut_engine.Scratch.reuse_enabled ()) then
+    (* Legacy shape: delegate through the per-player-allocating
+       asymmetric round, exactly as before the scratch arenas. *)
+    round_rates ~rng ~source ~qs:(Array.make k q) ~player ~rule
+  else
+    with_round_buffer q (fun samples ->
+        let votes =
+          Array.init k (fun i ->
+              let coins = Dut_prng.Rng.split rng in
+              fill_samples coins source q samples;
+              player ~index:i coins samples)
+        in
+        { votes; accept = Rule.apply rule votes })
 
 let round_messages ~rng ~source ~k ~q ~messenger ~referee =
   if k <= 0 then invalid_arg "Network.round_messages: k must be positive";
   if q < 0 then invalid_arg "Network.round_messages: q must be non-negative";
-  let messages =
-    Array.init k (fun i ->
+  if not (Dut_engine.Scratch.reuse_enabled ()) then begin
+    let messages =
+      Array.init k (fun i ->
+          let coins = Dut_prng.Rng.split rng in
+          let samples = Array.init q (fun _ -> source coins) in
+          messenger ~index:i coins samples)
+    in
+    referee messages
+  end
+  else
+    with_round_buffer q (fun samples ->
+        let messages =
+          Array.init k (fun i ->
+              let coins = Dut_prng.Rng.split rng in
+              fill_samples coins source q samples;
+              messenger ~index:i coins samples)
+        in
+        referee messages)
+
+let round_fold ~rng ~source ~k ~q ~messenger ~init ~f =
+  if k <= 0 then invalid_arg "Network.round_fold: k must be positive";
+  if q < 0 then invalid_arg "Network.round_fold: q must be non-negative";
+  with_round_buffer q (fun samples ->
+      let acc = ref init in
+      for i = 0 to k - 1 do
         let coins = Dut_prng.Rng.split rng in
-        let samples = draw_samples coins source q in
-        messenger ~index:i coins samples)
-  in
-  referee messages
+        fill_samples coins source q samples;
+        acc := f !acc (messenger ~index:i coins samples)
+      done;
+      !acc)
 
 let of_sampler s rng = Dut_dist.Sampler.draw s rng
 

@@ -12,10 +12,14 @@ type source = Dut_prng.Rng.t -> int
 
 type player = index:int -> Dut_prng.Rng.t -> int array -> bool
 (** A player's local algorithm: given its index, private coins and its
-    sample tuple, vote [true] = accept. *)
+    sample tuple, vote [true] = accept. The sample tuple is a
+    per-domain scratch buffer valid only for the duration of the call —
+    copy it if it must outlive the vote. *)
 
 type 'm messenger = index:int -> Dut_prng.Rng.t -> int array -> 'm
-(** Generalization to r-bit (or arbitrary) messages. *)
+(** Generalization to r-bit (or arbitrary) messages. The same
+    scratch-buffer lifetime rule as {!player} applies: the message must
+    not alias the sample array. *)
 
 type transcript = { votes : bool array; accept : bool }
 (** What happened in one round. *)
@@ -52,7 +56,25 @@ val round_messages :
   bool
 (** General-message round: players send values of any type; the referee
     is an arbitrary function of the message vector. Used by the r-bit
-    and single-sample protocols. *)
+    protocol. *)
+
+val round_fold :
+  rng:Dut_prng.Rng.t ->
+  source:source ->
+  k:int ->
+  q:int ->
+  messenger:'m messenger ->
+  init:'a ->
+  f:('a -> 'm -> 'a) ->
+  'a
+(** Streaming variant of {!round_messages} for referees that reduce the
+    message vector left-to-right: message i is folded into the
+    accumulator as soon as player i sends it, so no k-length message
+    array is materialized. Players draw from streams split in index
+    order — exactly the streams {!round_messages} would give them — so
+    [round_fold ~init:[] ~f:(fun acc m -> m :: acc)] reproduces the
+    message vector (reversed) bit for bit. Used by the single-sample
+    protocol, whose referee is a running collision count. *)
 
 val of_sampler : Dut_dist.Sampler.t -> source
 (** View a prepared alias sampler as a source. *)

@@ -1,3 +1,15 @@
+(* Invariant for [bisect]: ok above = true; ok below = false (or below
+   is one past the lower search bound). *)
+let bisect ~below ~above ok =
+  let rec go below above =
+    if above - below <= 1 then above
+    else begin
+      let mid = below + ((above - below) / 2) in
+      if ok mid then go below mid else go mid above
+    end
+  in
+  go below above
+
 let bracket_then_bisect ~lo ~hi ok =
   if lo < 0 || hi < lo then invalid_arg "Critical.search: bad bounds";
   (* Doubling phase: find the first power-of-two-scaled point that passes. *)
@@ -8,15 +20,45 @@ let bracket_then_bisect ~lo ~hi ok =
   in
   match double lo (lo - 1) with
   | None -> None
-  | Some (below, above) ->
-      (* Invariant: ok above = true; ok below = false (or below = lo-1). *)
-      let rec bisect below above =
-        if above - below <= 1 then above
-        else begin
-          let mid = below + ((above - below) / 2) in
-          if ok mid then bisect below mid else bisect mid above
-        end
-      in
-      Some (bisect below above)
+  | Some (below, above) -> Some (bisect ~below ~above ok)
 
 let search ?(lo = 1) ?(hi = 1 lsl 22) ok = bracket_then_bisect ~lo ~hi ok
+
+let search_seeded ?(lo = 1) ?(hi = 1 lsl 22) ~guess ok =
+  if lo < 0 || hi < lo then invalid_arg "Critical.search_seeded: bad bounds";
+  let guess = min hi (max lo guess) in
+  if ok guess then begin
+    if guess = lo then Some lo
+    else if not (ok (guess - 1)) then
+      (* Exact hit: the point below the guess fails, so the guess is the
+         least passing value. Costs one probe when the guess is merely
+         close, but collapses the frequent parameter-invariant case
+         (e.g. a grid whose answer does not move between points) from a
+         halve-and-bisect descent to two probes. *)
+      Some guess
+    else begin
+      (* The guess passes: walk down geometrically until a failing lower
+         bracket (or [lo] itself passes), then bisect. With an accurate
+         guess this skips the whole cold doubling phase. *)
+      let rec down above =
+        if above = lo then Some lo
+        else begin
+          let cand = max lo (above / 2) in
+          if ok cand then down cand else Some (bisect ~below:cand ~above ok)
+        end
+      in
+      down (guess - 1)
+    end
+  end
+  else begin
+    (* The guess fails: it is a certified lower bracket — grow upward
+       from it instead of from [lo]. *)
+    let rec up below =
+      if below >= hi then None
+      else begin
+        let cand = min hi ((2 * below) + 1) in
+        if ok cand then Some (bisect ~below ~above:cand ok) else up cand
+      end
+    in
+    up guess
+  end

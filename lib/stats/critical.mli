@@ -18,3 +18,17 @@ val search : ?lo:int -> ?hi:int -> (int -> bool) -> int option
 
 val bracket_then_bisect : lo:int -> hi:int -> (int -> bool) -> int option
 (** Same as {!search} with explicit bounds; exposed for testing. *)
+
+val search_seeded :
+  ?lo:int -> ?hi:int -> guess:int -> (int -> bool) -> int option
+(** [search_seeded ~guess ok] is {!search} warm-started at [guess]
+    (clamped into [lo..hi]): if [ok guess] holds the search shrinks
+    geometrically below it for a failing bracket, otherwise it grows
+    geometrically above it — either way replacing the cold doubling
+    phase from [lo]. Returns the same answer as {!search} for every
+    monotone predicate; an accurate guess (e.g. the previous grid
+    point's critical value scaled by the theory exponent) roughly
+    halves the number of predicate evaluations, each of which is a
+    full Monte-Carlo power estimate.
+
+    @raise Invalid_argument if [lo < 0] or [hi < lo]. *)

@@ -1,6 +1,6 @@
 (** Monte-Carlo estimation of event probabilities.
 
-    Both estimators run their trials through {!Dut_engine.Parallel}:
+    All estimators run their trials through {!Dut_engine.Parallel}:
     child RNG streams are pre-split per trial in index order, so the
     result is bit-identical for every [jobs] count (and identical to the
     historical sequential loop). [jobs] defaults to the ambient
@@ -19,6 +19,45 @@ val estimate_prob :
 
     @raise Invalid_argument if [trials <= 0]. *)
 
+type adaptive = { ci : Binomial_ci.t; trials_used : int }
+(** Result of an adaptive estimate: the Wilson interval at the stopping
+    point and how many trials were actually spent. *)
+
+val estimate_prob_adaptive :
+  ?jobs:int ->
+  ?chunk:int ->
+  max_trials:int ->
+  target:float ->
+  Dut_prng.Rng.t ->
+  (Dut_prng.Rng.t -> bool) ->
+  adaptive
+(** [estimate_prob_adaptive ~max_trials ~target rng event] estimates
+    the same probability as {!estimate_prob} but spends trials in
+    batches of [chunk] (default 16 — the smallest batch that can
+    decide the harness's default 0.72 level in one chunk on either
+    side) and {e stops early} as soon as the
+    running Wilson 95% interval lies decisively above or below
+    [target] (interval lower bound > target, or upper bound < target),
+    with a hard cap of [max_trials]. Far from the decision boundary
+    one batch settles the verdict, so a probe costs O(chunk) instead
+    of the full budget; near the boundary the full budget is spent,
+    exactly as the fixed estimator would.
+
+    The Wilson interval always contains the point estimate, so a
+    decisive stop and the point-estimate comparison
+    [ci.estimate >= target] agree by construction. Because the
+    interval is monitored after every batch the 95% coverage is
+    nominal, not exact — the harness treats [target] as a verdict
+    threshold, not an inference boundary.
+
+    Stopping depends only on accumulated counts at fixed chunk
+    boundaries and every batch pre-splits its streams in index order,
+    so the result — estimate {e and} trials_used — is bit-identical
+    for every [jobs] count.
+
+    @raise Invalid_argument if [max_trials <= 0], [chunk <= 0], or
+    [target] is outside [0,1]. *)
+
 val estimate_mean :
   ?jobs:int ->
   trials:int ->
@@ -27,3 +66,16 @@ val estimate_mean :
   Summary.t
 (** Summary of [trials] evaluations of a random quantity, parallelised
     like {!estimate_prob}. *)
+
+(** {2 Trial accounting}
+
+    A process-wide counter of Monte-Carlo trials actually executed,
+    maintained by every estimator above. The bench harness resets it
+    around a kernel run to report trials-consumed — the natural "work"
+    unit that adaptive stopping optimises. *)
+
+val reset_trials_consumed : unit -> unit
+
+val trials_consumed : unit -> int
+(** Trials executed by all estimators since the last reset (atomic,
+    process-wide). *)

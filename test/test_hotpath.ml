@@ -1,0 +1,311 @@
+(* Tests for the hot-path overhaul: adaptive Monte-Carlo stopping,
+   per-domain scratch arenas, and warm-started critical search.
+
+   Two families of guarantees are exercised:
+   - equivalence: the scratch-arena kernels reproduce the historical
+     allocating paths bit for bit, and the seeded search returns the
+     same answer as the cold one for every monotone predicate;
+   - jobs-invariance: the adaptive estimator's estimate AND spend are
+     identical for every jobs count. *)
+
+let rng seed = Dut_prng.Rng.create seed
+
+(* -- Adaptive stopping --------------------------------------------------- *)
+
+let verdict_of_fixed ~level (ci : Dut_stats.Binomial_ci.t) =
+  ci.estimate >= level
+
+let test_adaptive_agrees_with_fixed_when_decisive () =
+  (* For seeds and biases across both sides of the target, whenever the
+     fixed-budget interval is decisive the adaptive verdict must match
+     the fixed verdict. Deterministic: a fixed set of seeds. *)
+  let trials = 200 and target = 0.5 in
+  let checked = ref 0 in
+  for seed = 0 to 149 do
+    let p = if seed mod 2 = 0 then 0.2 else 0.8 in
+    let event r = Dut_prng.Rng.unit_float r < p in
+    let fixed = Dut_stats.Montecarlo.estimate_prob ~trials (rng seed) event in
+    if fixed.lower > target || fixed.upper < target then begin
+      incr checked;
+      let adaptive =
+        Dut_stats.Montecarlo.estimate_prob_adaptive ~max_trials:trials ~target
+          (rng seed) event
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d verdict" seed)
+        (verdict_of_fixed ~level:target fixed)
+        (adaptive.ci.estimate >= target);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d stopped early" seed)
+        true
+        (adaptive.trials_used <= trials)
+    end
+  done;
+  Alcotest.(check bool) "most fixed runs were decisive" true (!checked > 100)
+
+let test_adaptive_full_budget_equals_fixed () =
+  (* A bias pinned to the target never lets the interval separate, so
+     the adaptive estimator must spend the whole budget and land on
+     exactly the fixed estimate (same streams, same counts). *)
+  let trials = 160 and target = 0.5 in
+  let event r = Dut_prng.Rng.unit_float r < 0.5 in
+  for seed = 0 to 19 do
+    let fixed = Dut_stats.Montecarlo.estimate_prob ~trials (rng seed) event in
+    let adaptive =
+      Dut_stats.Montecarlo.estimate_prob_adaptive ~max_trials:trials ~target
+        (rng seed) event
+    in
+    if adaptive.trials_used = trials then
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "seed %d estimate" seed)
+        fixed.estimate adaptive.ci.estimate
+  done
+
+let test_adaptive_jobs_invariant () =
+  let est jobs =
+    Dut_stats.Montecarlo.estimate_prob_adaptive ~jobs ~max_trials:500
+      ~target:0.45 (rng 42) (fun r -> Dut_prng.Rng.unit_float r < 0.3)
+  in
+  let base = est 1 in
+  Alcotest.(check bool)
+    "adaptive stopped before the cap" true
+    (base.trials_used < 500);
+  List.iter
+    (fun jobs ->
+      let a = est jobs in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "estimate jobs=%d" jobs)
+        base.ci.estimate a.ci.estimate;
+      Alcotest.(check int)
+        (Printf.sprintf "trials_used jobs=%d" jobs)
+        base.trials_used a.trials_used)
+    [ 2; 4 ]
+
+(* -- Scratch kernels vs the allocating paths ----------------------------- *)
+
+let test_random_scratch_equals_random () =
+  List.iter
+    (fun (ell, eps, seed) ->
+      let a = Dut_dist.Paninski.random ~ell ~eps (rng seed) in
+      let b = Dut_dist.Paninski.random_scratch ~ell ~eps (rng seed) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "z (ell=%d seed=%d)" ell seed)
+        (Dut_dist.Paninski.z a) (Dut_dist.Paninski.z b))
+    [ (2, 0.3, 0); (5, 0.25, 1); (7, 0.3, 2); (7, 0.5, 3); (9, 0.25, 4) ]
+
+let test_draw_many_into_equals_draw_many () =
+  let hard = Dut_dist.Paninski.random ~ell:6 ~eps:0.3 (rng 9) in
+  let expected = Dut_dist.Paninski.draw_many hard (rng 10) 777 in
+  let buf = Array.make 777 (-1) in
+  Dut_dist.Paninski.draw_many_into hard (rng 10) buf;
+  Alcotest.(check (array int)) "paninski draws" expected buf;
+  let sampler = Dut_dist.Sampler.of_pmf (Dut_dist.Pmf.uniform 97) in
+  let expected = Dut_dist.Sampler.draw_many sampler (rng 11) 500 in
+  let buf = Array.make 500 (-1) in
+  Dut_dist.Sampler.draw_many_into sampler (rng 11) buf;
+  Alcotest.(check (array int)) "sampler draws" expected buf
+
+(* The seed repo's round: fresh sample tuples from Array.init. The
+   scratch-buffer round must reproduce votes and verdict exactly. *)
+let legacy_round ~rng ~source ~k ~q ~player ~rule =
+  let votes =
+    Array.init k (fun i ->
+        let coins = Dut_prng.Rng.split rng in
+        let samples = Array.init q (fun _ -> source coins) in
+        player ~index:i coins samples)
+  in
+  (votes, Dut_protocol.Rule.apply rule votes)
+
+let test_round_equals_legacy_allocating_round () =
+  let n = 256 in
+  let player ~index _coins samples =
+    Dut_core.Local_stat.collisions samples < 3 + (index mod 2)
+  in
+  List.iter
+    (fun (seed, rule) ->
+      let expected_votes, expected_accept =
+        legacy_round ~rng:(rng seed)
+          ~source:(Dut_protocol.Network.uniform_source ~n)
+          ~k:16 ~q:40 ~player ~rule
+      in
+      let t =
+        Dut_protocol.Network.round ~rng:(rng seed)
+          ~source:(Dut_protocol.Network.uniform_source ~n)
+          ~k:16 ~q:40 ~player ~rule
+      in
+      Alcotest.(check (array bool)) "votes" expected_votes t.votes;
+      Alcotest.(check bool) "accept" expected_accept t.accept)
+    [
+      (0, Dut_protocol.Rule.And);
+      (1, Dut_protocol.Rule.Majority);
+      (2, Dut_protocol.Rule.Reject_threshold 4);
+    ]
+
+(* Flipping Scratch reuse off routes every gated kernel (round sample
+   buffers, counting-sort collisions, scratch hard instances, the
+   single-sample referee) to its legacy allocating body. Both paths
+   consume the same draws, so full evaluations must agree bit for bit —
+   this is what lets the engine bench measure an honest "before" leg. *)
+let test_legacy_kernels_equal_scratch_kernels () =
+  let with_reuse b f =
+    Dut_engine.Scratch.set_reuse b;
+    Fun.protect ~finally:(fun () -> Dut_engine.Scratch.set_reuse true) f
+  in
+  let check_tester name tester =
+    let measure () =
+      Dut_core.Evaluate.measure ~trials:40 ~rng:(rng 21) ~ell:6 ~eps:0.3 tester
+    in
+    let scratch = with_reuse true measure in
+    let legacy = with_reuse false measure in
+    Alcotest.(check (float 0.))
+      (name ^ " uniform") scratch.uniform_accept.estimate
+      legacy.uniform_accept.estimate;
+    Alcotest.(check (float 0.))
+      (name ^ " far") scratch.far_reject.estimate legacy.far_reject.estimate
+  in
+  check_tester "and" (Dut_core.And_tester.tester ~n:128 ~eps:0.3 ~k:8 ~q:48);
+  check_tester "single-sample"
+    (Dut_core.Single_sample.tester ~n:128 ~eps:0.3 ~k:300 ~bits:3)
+
+let test_measure_jobs_invariant () =
+  (* The full evaluation path — scratch samples, scratch Paninski,
+     histogram collision counts — at several jobs counts. *)
+  let tester = Dut_core.And_tester.tester ~n:256 ~eps:0.3 ~k:8 ~q:64 in
+  let measure jobs =
+    Dut_engine.Parallel.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () ->
+        Dut_engine.Parallel.set_default_jobs (Dut_engine.Parallel.env_jobs ()))
+      (fun () ->
+        Dut_core.Evaluate.measure ~trials:60 ~rng:(rng 5) ~ell:7 ~eps:0.3
+          tester)
+  in
+  let base = measure 1 in
+  List.iter
+    (fun jobs ->
+      let p = measure jobs in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "uniform jobs=%d" jobs)
+        base.uniform_accept.estimate p.uniform_accept.estimate;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "far jobs=%d" jobs)
+        base.far_reject.estimate p.far_reject.estimate)
+    [ 2; 4 ]
+
+let prop_collisions_bounded_equals_collisions =
+  QCheck.Test.make ~name:"collisions_bounded = collisions" ~count:300
+    QCheck.(
+      pair (int_range 1 400) (list_of_size Gen.(int_range 0 120) (int_range 0 10_000)))
+    (fun (n, xs) ->
+      let samples = Array.of_list (List.map (fun x -> x mod n) xs) in
+      Dut_core.Local_stat.collisions_bounded ~n samples
+      = Dut_core.Local_stat.collisions (Array.copy samples))
+
+let prop_hist_counts_match_naive =
+  QCheck.Test.make ~name:"scratch histogram counts match a naive table"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 80) (int_range 0 63))
+    (fun xs ->
+      let h = Dut_engine.Scratch.hist ~size:64 in
+      let naive = Array.make 64 0 in
+      List.for_all
+        (fun v ->
+          naive.(v) <- naive.(v) + 1;
+          Dut_engine.Scratch.bump h v = naive.(v))
+        xs
+      && List.for_all (fun v -> Dut_engine.Scratch.count h v = naive.(v)) xs)
+
+(* -- Warm-started search ------------------------------------------------- *)
+
+let prop_search_seeded_equals_search =
+  QCheck.Test.make ~name:"search_seeded = search for monotone predicates"
+    ~count:500
+    QCheck.(triple (int_range 1 60) (int_range 1 2000) (int_range 1 2000))
+    (fun (lo, width, guess) ->
+      let hi = lo + width in
+      (* Thresholds inside, at, and outside the bracket. *)
+      List.for_all
+        (fun m ->
+          let ok q = q >= m in
+          let cold = Dut_stats.Critical.search ~lo ~hi ok in
+          let seeded = Dut_stats.Critical.search_seeded ~lo ~hi ~guess ok in
+          cold = seeded)
+        [ lo; lo + (width / 2); hi; hi + 1 ])
+
+let test_search_seeded_counts_fewer_probes_when_guess_is_close () =
+  (* The point of warm-starting: a near-answer guess brackets in a few
+     probes where the cold search doubles all the way up. *)
+  let m = 700 in
+  let probes search =
+    let count = ref 0 in
+    let ok q =
+      incr count;
+      q >= m
+    in
+    ignore (search ok);
+    !count
+  in
+  let cold = probes (fun ok -> Dut_stats.Critical.search ~lo:1 ~hi:100_000 ok) in
+  let warm =
+    probes (fun ok ->
+        Dut_stats.Critical.search_seeded ~lo:1 ~hi:100_000 ~guess:750 ok)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %d < cold %d" warm cold)
+    true (warm < cold)
+
+(* -- Jobs clamping ------------------------------------------------------- *)
+
+let test_effective_jobs_clamps () =
+  let cores = Domain.recommended_domain_count () in
+  Alcotest.(check int) "1 stays 1" 1 (Dut_engine.Pool.effective_jobs 1);
+  Alcotest.(check int) "cores stays cores" cores
+    (Dut_engine.Pool.effective_jobs cores);
+  Alcotest.(check int) "oversubscription clamps" cores
+    (Dut_engine.Pool.effective_jobs (cores + 37));
+  let cfg =
+    Dut_experiments.Config.make ~jobs:(cores + 5) Dut_experiments.Config.Fast
+  in
+  Alcotest.(check int) "Config.make clamps" cores cfg.jobs
+
+let () =
+  Alcotest.run "dut_hotpath"
+    [
+      ( "adaptive",
+        [
+          Alcotest.test_case "agrees with fixed verdict when decisive" `Quick
+            test_adaptive_agrees_with_fixed_when_decisive;
+          Alcotest.test_case "full budget = fixed estimate" `Quick
+            test_adaptive_full_budget_equals_fixed;
+          Alcotest.test_case "jobs-invariant incl. trials_used" `Quick
+            test_adaptive_jobs_invariant;
+        ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "random_scratch = random" `Quick
+            test_random_scratch_equals_random;
+          Alcotest.test_case "draw_many_into = draw_many" `Quick
+            test_draw_many_into_equals_draw_many;
+          Alcotest.test_case "round = legacy allocating round" `Quick
+            test_round_equals_legacy_allocating_round;
+          Alcotest.test_case "legacy kernels = scratch kernels" `Quick
+            test_legacy_kernels_equal_scratch_kernels;
+          Alcotest.test_case "measure jobs-invariant" `Quick
+            test_measure_jobs_invariant;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "warm guess saves probes" `Quick
+            test_search_seeded_counts_fewer_probes_when_guess_is_close;
+        ] );
+      ( "clamping",
+        [ Alcotest.test_case "effective_jobs" `Quick test_effective_jobs_clamps ]
+      );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_collisions_bounded_equals_collisions;
+            prop_hist_counts_match_naive;
+            prop_search_seeded_equals_search;
+          ] );
+    ]

@@ -19,8 +19,9 @@ open Bechamel.Toolkit
 
 let regenerate_tables () =
   let cfg = Dut_experiments.Config.make Dut_experiments.Config.Fast in
-  let total = Dut_experiments.Runner.run_all_to_channel cfg stdout in
-  Printf.printf "# all tables regenerated in %.1fs\n\n%!" total
+  let report = Dut_experiments.Runner.run_all_to_channel cfg stdout in
+  Printf.printf "# all tables regenerated in %.1fs wall (%.1fs summed-cpu)\n\n%!"
+    report.Dut_experiments.Runner.wall_seconds report.cpu_seconds
 
 (* -- Part 2: kernel micro-benchmarks ----------------------------------- *)
 
@@ -148,20 +149,47 @@ let run_kernels () =
    elapsed time of a full `run-all`). *)
 let engine_bench_ids = [ "A1-ablation"; "T13-local-model"; "T20-open-problem" ]
 
-type meas = { seconds : float; trials : int; minor_words : float }
+(* The engine/stat counters each leg records, on the shared Dut_obs
+   vocabulary — the same names the run manifest and `--metrics` print,
+   so results/bench_engine.json and a trace describe one world. *)
+let tracked_counters =
+  [
+    "mc.trials_used";
+    "mc.adaptive_early_stops";
+    "search.probes";
+    "search.exact_hits";
+    "scratch.borrows";
+    "scratch.reuse_hits";
+  ]
+
+type meas = {
+  seconds : float;
+  trials : int;
+  minor_words : float;
+  counters : (string * int) list;  (* tracked_counters deltas, same order *)
+}
 
 (* Wall-clock, Monte-Carlo trials executed, and minor-heap words
    allocated on the submitting domain (jobs is clamped to the host's
-   core count, so on a single-core runner this is all allocation). *)
+   core count, so on a single-core runner this is all allocation).
+   Counters are measured as before/after deltas of the process-wide
+   Dut_obs totals — the runs are quiescent at both read points. *)
 let instrumented run =
-  Dut_stats.Montecarlo.reset_trials_consumed ();
+  let base =
+    List.map (fun n -> (n, Dut_obs.Metrics.value n)) tracked_counters
+  in
   let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   ignore (run ());
+  let seconds = Unix.gettimeofday () -. t0 in
+  let counters =
+    List.map (fun (n, v0) -> (n, Dut_obs.Metrics.value n - v0)) base
+  in
   {
-    seconds = Unix.gettimeofday () -. t0;
-    trials = Dut_stats.Montecarlo.trials_consumed ();
+    seconds;
+    trials = List.assoc "mc.trials_used" counters;
     minor_words = Gc.minor_words () -. mw0;
+    counters;
   }
 
 (* "before" reproduces the hot path of the previous revision: fixed
@@ -217,16 +245,24 @@ let write_engine_json ~quick ~jobs ~all_before ~all_after rows =
     (Domain.recommended_domain_count ())
     all_before.seconds all_after.seconds
     (all_before.seconds /. all_after.seconds);
+  let counters_obj meas =
+    Dut_obs.Json.to_string
+      (Dut_obs.Json.Obj
+         (List.map (fun (n, v) -> (n, Dut_obs.Json.int v)) meas.counters))
+  in
   List.iteri
     (fun i (id, before, after) ->
       Printf.fprintf oc
         "    { \"id\": %S, \"before_seconds\": %.3f, \"after_seconds\": %.3f, \
          \"speedup\": %.3f,\n\
         \      \"trials_before\": %d, \"trials_after\": %d, \
-         \"minor_words_before\": %.0f, \"minor_words_after\": %.0f }%s\n"
+         \"minor_words_before\": %.0f, \"minor_words_after\": %.0f,\n\
+        \      \"counters_before\": %s,\n\
+        \      \"counters_after\": %s }%s\n"
         id before.seconds after.seconds
         (before.seconds /. after.seconds)
         before.trials after.trials before.minor_words after.minor_words
+        (counters_obj before) (counters_obj after)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
@@ -270,137 +306,10 @@ let bench_engine ~quick () =
 
 (* -- Schema check for results/bench_engine.json (`--check`) ------------- *)
 
-(* A dependency-free subset-of-JSON reader: objects, arrays, strings
-   (simple backslash escapes only), numbers, booleans. Just enough to
-   validate the file this harness writes. *)
-type json =
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Malformed of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Malformed (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    then begin advance (); skip_ws () end
-  in
-  let expect c =
-    if peek () <> c then fail (Printf.sprintf "expected %c" c);
-    advance ()
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '"' -> advance (); Buffer.contents b
-      | '\\' ->
-          advance ();
-          (match peek () with
-          | '"' | '\\' | '/' -> Buffer.add_char b (peek ())
-          | 'n' -> Buffer.add_char b '\n'
-          | 't' -> Buffer.add_char b '\t'
-          | 'b' | 'f' | 'r' -> Buffer.add_char b ' '
-          | 'u' -> advance (); advance (); advance (); Buffer.add_char b '?'
-          | _ -> fail "bad escape");
-          advance ();
-          go ()
-      | c -> Buffer.add_char b c; advance (); go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char c =
-      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while !pos < n && num_char s.[!pos] do advance () done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let literal lit v =
-    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
-    then begin pos := !pos + String.length lit; v end
-    else fail ("expected " ^ lit)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then begin advance (); Obj [] end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); members ((key, v) :: acc)
-            | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          members []
-        end
-    | '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = ']' then begin advance (); Arr [] end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); elements (v :: acc)
-            | ']' -> advance (); Arr (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          elements []
-        end
-    | '"' -> Str (parse_string ())
-    | 't' -> literal "true" (Bool true)
-    | 'f' -> literal "false" (Bool false)
-    | _ -> Num (parse_number ())
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let field obj name =
-  match obj with
-  | Obj kvs -> (
-      match List.assoc_opt name kvs with
-      | Some v -> v
-      | None -> raise (Malformed (Printf.sprintf "missing field %S" name)))
-  | _ -> raise (Malformed (Printf.sprintf "expected object holding %S" name))
-
-let want_num obj name =
-  match field obj name with
-  | Num f -> f
-  | _ -> raise (Malformed (Printf.sprintf "field %S: expected number" name))
-
-let want_str obj name =
-  match field obj name with
-  | Str s -> s
-  | _ -> raise (Malformed (Printf.sprintf "field %S: expected string" name))
-
-let want_bool obj name =
-  match field obj name with
-  | Bool b -> b
-  | _ -> raise (Malformed (Printf.sprintf "field %S: expected bool" name))
+(* The JSON reader lives in Dut_obs.Json now (the same one obs-report
+   uses on manifests and traces); this harness only keeps the schema
+   assertions. *)
+open Dut_obs.Json
 
 let check_engine_json () =
   let fail msg =
@@ -411,7 +320,7 @@ let check_engine_json () =
   let ic = open_in_bin engine_json_path in
   let contents = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  match parse_json contents with
+  match parse contents with
   | exception Malformed msg -> fail msg
   | root -> (
       try
@@ -431,6 +340,24 @@ let check_engine_json () =
             [ "before_seconds"; "after_seconds" ];
           ignore (want_num obj "speedup")
         in
+        (* Every tracked Dut_obs counter must appear, non-negative, and
+           the counters' trials entry must agree with the legacy
+           trials_{before,after} fields (one vocabulary, no drift). *)
+        let check_counters e which =
+          let obj = field e ("counters_" ^ which) in
+          List.iter
+            (fun name ->
+              if want_num obj name < 0. then
+                raise (Malformed (name ^ ": negative counter")))
+            tracked_counters;
+          if want_num obj "mc.trials_used" <> want_num e ("trials_" ^ which)
+          then
+            raise
+              (Malformed
+                 (Printf.sprintf
+                    "counters_%s[mc.trials_used] disagrees with trials_%s"
+                    which which))
+        in
         check_pair (field root "run_all");
         (match field root "experiments" with
         | Arr [] -> raise (Malformed "experiments: empty")
@@ -446,7 +373,9 @@ let check_engine_json () =
                   [
                     "trials_before"; "trials_after"; "minor_words_before";
                     "minor_words_after";
-                  ])
+                  ];
+                check_counters e "before";
+                check_counters e "after")
               exps
         | _ -> raise (Malformed "experiments: expected array"));
         Printf.printf "%s: schema ok\n" engine_json_path
@@ -454,12 +383,22 @@ let check_engine_json () =
 
 let () =
   let has flag = Array.exists (( = ) flag) Sys.argv in
+  let value_after flag =
+    let r = ref None in
+    Array.iteri
+      (fun i a -> if a = flag && i + 1 < Array.length Sys.argv then r := Some Sys.argv.(i + 1))
+      Sys.argv;
+    !r
+  in
   if has "--check" then check_engine_json ()
   else begin
+    Dut_obs.Span.set_sink (value_after "--trace");
     let engine_only = has "--engine" in
     if not engine_only then begin
       regenerate_tables ();
       run_kernels ()
     end;
-    bench_engine ~quick:(has "--quick") ()
+    bench_engine ~quick:(has "--quick") ();
+    if has "--metrics" then Dut_obs.Metrics.dump stderr;
+    Dut_obs.Span.set_sink None
   end

@@ -73,8 +73,44 @@ let no_timings_arg =
           "Omit the wall-clock comment lines, making the output \
            byte-reproducible across runs and jobs counts.")
 
-let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ?trials ?jobs id
-    =
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON Lines span trace (experiments, tables, run-all) \
+           to $(docv). Strictly out-of-band: stdout is byte-identical \
+           with and without this flag.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the run, dump the final counter/gauge table \
+           (mc.trials_used, search.probes, pool.*, scratch.*) to stderr.")
+
+(* Telemetry bracket shared by run/run-all: open the span sink before
+   the run, then write results/manifest.json, optionally dump the
+   counter table to stderr, and close the sink. Everything here is
+   out-of-band — stdout is untouched. *)
+let with_obs ~trace ~metrics ~command ~cfg run =
+  Dut_obs.Span.set_sink trace;
+  let finally () = Dut_obs.Span.set_sink None in
+  Fun.protect ~finally @@ fun () ->
+  let wall_seconds, cpu_seconds, experiments = run () in
+  Dut_obs.Manifest.write
+    (Dut_obs.Manifest.make ~command
+       ~profile:
+         (Dut_experiments.Config.profile_to_string
+            cfg.Dut_experiments.Config.profile)
+       ~seed:cfg.seed ~jobs:cfg.jobs ~adaptive:cfg.adaptive
+       ~warm_start:cfg.warm_start ~wall_seconds ~cpu_seconds ~experiments);
+  if metrics then Dut_obs.Metrics.dump stderr
+
+let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ~trace ~metrics
+    ?trials ?jobs id =
   match Dut_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `dut list`\n" id;
@@ -84,7 +120,11 @@ let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ?trials ?jobs id
         Dut_experiments.Config.make ~seed ?trials ?jobs ~adaptive ~warm_start
           profile
       in
-      ignore (Dut_experiments.Runner.run_to_channel ~csv ~timings cfg exp stdout)
+      with_obs ~trace ~metrics ~command:("run " ^ id) ~cfg (fun () ->
+          let elapsed =
+            Dut_experiments.Runner.run_to_channel ~csv ~timings cfg exp stdout
+          in
+          (elapsed, elapsed, [ (id, elapsed) ]))
 
 let list_cmd =
   let doc = "List the available experiments." in
@@ -102,33 +142,42 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT-ID")
   in
-  let run profile seed csv trials jobs no_timings no_adaptive cold_search id =
+  let run profile seed csv trials jobs no_timings no_adaptive cold_search
+      trace metrics id =
     run_one ~profile ~seed ~csv ~timings:(not no_timings)
-      ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) ?trials ?jobs
-      id
+      ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) ~trace
+      ~metrics ?trials ?jobs id
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
-      $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ id_arg)
+      $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ trace_arg
+      $ metrics_arg $ id_arg)
 
 let run_all_cmd =
   let doc =
     "Run every experiment in the registry (up to --jobs concurrently)."
   in
-  let run profile seed csv trials jobs no_timings no_adaptive cold_search =
+  let run profile seed csv trials jobs no_timings no_adaptive cold_search
+      trace metrics =
     let cfg =
       Dut_experiments.Config.make ~seed ?trials ?jobs
         ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) profile
     in
-    ignore
-      (Dut_experiments.Runner.run_all_to_channel ~csv ~timings:(not no_timings)
-         cfg stdout)
+    with_obs ~trace ~metrics ~command:"run-all" ~cfg (fun () ->
+        let report =
+          Dut_experiments.Runner.run_all_to_channel ~csv
+            ~timings:(not no_timings) cfg stdout
+        in
+        ( report.Dut_experiments.Runner.wall_seconds,
+          report.cpu_seconds,
+          report.experiments ))
   in
   Cmd.v (Cmd.info "run-all" ~doc)
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
-      $ no_timings_arg $ no_adaptive_arg $ cold_search_arg)
+      $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ trace_arg
+      $ metrics_arg)
 
 let bounds_cmd =
   let doc = "Print every bound of the paper for given parameters." in
@@ -209,13 +258,160 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ profile_arg $ seed_arg)
 
+(* -- obs-report: pretty-print a manifest and/or trace ------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let obs_fail path msg =
+  Printf.eprintf "%s: %s\n" path msg;
+  exit 1
+
+let report_manifest path =
+  if not (Sys.file_exists path) then
+    obs_fail path "no manifest (run `dut run-all` first, or pass --manifest)";
+  let open Dut_obs in
+  match Json.parse (read_file path) with
+  | exception Json.Malformed msg -> obs_fail path msg
+  | exception Sys_error msg -> obs_fail path msg
+  | m -> (
+      try
+        let yn b = if b then "yes" else "no" in
+        Printf.printf "manifest %s (%s, git %s)\n" path (Json.want_str m "schema")
+          (Json.want_str m "git");
+        Printf.printf "  command     %s\n" (Json.want_str m "command");
+        Printf.printf "  profile     %-6s seed %.0f   jobs %.0f\n"
+          (Json.want_str m "profile") (Json.want_num m "seed")
+          (Json.want_num m "jobs");
+        Printf.printf "  adaptive    %-6s warm-start %s\n"
+          (yn (Json.want_bool m "adaptive"))
+          (yn (Json.want_bool m "warm_start"));
+        Printf.printf "  wall        %.1fs   summed-cpu %.1fs\n"
+          (Json.want_num m "wall_seconds")
+          (Json.want_num m "cpu_seconds");
+        (match Json.field m "experiments" with
+        | Json.Arr exps ->
+            let timed =
+              List.map
+                (fun e -> (Json.want_str e "id", Json.want_num e "seconds"))
+                exps
+            in
+            let slowest =
+              List.sort (fun (_, a) (_, b) -> Float.compare b a) timed
+            in
+            Printf.printf "\nexperiments (%d, slowest first)\n"
+              (List.length timed);
+            List.iteri
+              (fun i (id, s) ->
+                if i < 10 then Printf.printf "  %-22s %7.1fs\n" id s)
+              slowest;
+            if List.length slowest > 10 then
+              Printf.printf "  ... %d more\n" (List.length slowest - 10)
+        | _ -> raise (Json.Malformed "experiments: expected array"));
+        (match Json.field m "counters" with
+        | Json.Obj kvs ->
+            print_newline ();
+            print_endline "counters";
+            let width =
+              List.fold_left (fun w (k, _) -> max w (String.length k)) 0 kvs
+            in
+            List.iter
+              (fun (k, v) ->
+                match v with
+                | Json.Num f -> Printf.printf "  %-*s %.0f\n" width k f
+                | _ -> raise (Json.Malformed ("counter " ^ k ^ ": expected number")))
+              kvs
+        | _ -> raise (Json.Malformed "counters: expected object"))
+      with Json.Malformed msg -> obs_fail path msg)
+
+let report_trace path =
+  if not (Sys.file_exists path) then obs_fail path "no such trace file";
+  let open Dut_obs in
+  let ic = open_in path in
+  let by_name = Hashtbl.create 8 in
+  let spans = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match Json.parse line with
+         | exception Json.Malformed msg ->
+             close_in_noerr ic;
+             obs_fail path (Printf.sprintf "line %d: %s" !lineno msg)
+         | span ->
+             (try
+                let name = Json.want_str span "name" in
+                ignore (Json.want_num span "span");
+                ignore (Json.want_num span "start_ns");
+                let dur = Json.want_num span "dur_ns" in
+                incr spans;
+                let count, total, longest =
+                  Option.value
+                    (Hashtbl.find_opt by_name name)
+                    ~default:(0, 0., 0.)
+                in
+                Hashtbl.replace by_name name
+                  (count + 1, total +. dur, Float.max longest dur)
+              with Json.Malformed msg ->
+                close_in_noerr ic;
+                obs_fail path (Printf.sprintf "line %d: %s" !lineno msg))
+       end
+     done
+   with End_of_file -> close_in_noerr ic);
+  Printf.printf "trace %s: %d spans, %d names\n" path !spans
+    (Hashtbl.length by_name);
+  Printf.printf "  %-18s %7s %10s %10s\n" "name" "count" "total" "max";
+  let s_of_ns ns = ns /. 1e9 in
+  Hashtbl.fold (fun name stats acc -> (name, stats) :: acc) by_name []
+  |> List.sort (fun (_, (_, a, _)) (_, (_, b, _)) -> Float.compare b a)
+  |> List.iter (fun (name, (count, total, longest)) ->
+         Printf.printf "  %-18s %7d %9.2fs %9.2fs\n" name count (s_of_ns total)
+           (s_of_ns longest))
+
+let obs_report_cmd =
+  let doc =
+    "Summarise a run manifest and/or span trace as human-readable tables."
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            (Printf.sprintf "Manifest to read (default %s)."
+               Dut_obs.Manifest.default_path))
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "JSONL trace to summarise; every line is validated, so a \
+             non-zero exit means a malformed trace.")
+  in
+  let run manifest trace =
+    match (manifest, trace) with
+    | None, None -> report_manifest Dut_obs.Manifest.default_path
+    | _ ->
+        Option.iter report_manifest manifest;
+        (match (manifest, trace) with Some _, Some _ -> print_newline () | _ -> ());
+        Option.iter report_trace trace
+  in
+  Cmd.v (Cmd.info "obs-report" ~doc) Term.(const run $ manifest_arg $ trace_file_arg)
+
 let main =
   let doc =
     "Reproduction experiments for 'Can Distributed Uniformity Testing Be \
      Local?' (PODC 2019)"
   in
   Cmd.group (Cmd.info "dut" ~doc)
-    [ list_cmd; run_cmd; run_all_cmd; bounds_cmd; verify_cmd ]
+    [ list_cmd; run_cmd; run_all_cmd; bounds_cmd; verify_cmd; obs_report_cmd ]
 
 let () =
   (* Out-of-range option values (--trials 0, --jobs 0) surface as

@@ -13,21 +13,49 @@
 
 open Cmdliner
 
-let run n k eps q_opt epochs drift_at smoothing crash seed jobs =
+(* Monitor telemetry, on the shared Dut_obs vocabulary: per-epoch
+   simulation latency accumulates on a counter, the calibrated referee
+   thresholds and the detection outcome land on gauges. `--metrics`
+   dumps the table to stderr; `--trace` writes one span per epoch. *)
+let m_epoch_ns = Dut_obs.Metrics.counter "monitor.epoch_ns"
+
+let m_epochs = Dut_obs.Metrics.counter "monitor.epochs"
+
+let m_false_alarms = Dut_obs.Metrics.counter "monitor.false_alarms"
+
+let g_fraction_cutoff = Dut_obs.Metrics.gauge "monitor.fraction_cutoff"
+
+let g_reject_cutoff = Dut_obs.Metrics.gauge "monitor.reject_cutoff_full_fleet"
+
+let g_latency = Dut_obs.Metrics.gauge "monitor.detection_latency_epochs"
+
+let run n k eps q_opt epochs drift_at smoothing crash seed jobs trace metrics =
   if drift_at < 1 || drift_at > epochs then begin
     Printf.eprintf "drift epoch must be within [1, epochs]\n";
+    exit 1
+  end;
+  (* The hard-family drift model needs a power-of-two universe: refuse
+     anything else instead of silently rounding n down. *)
+  if n < 4 || n land (n - 1) <> 0 then begin
+    let suggestion =
+      let rec up p = if p >= n then p else up (2 * p) in
+      up 4
+    in
+    Printf.eprintf
+      "dut-monitor: -n %d is not a power of two >= 4 (the Paninski drift \
+       family pairs up a power-of-two universe); try -n %d\n"
+      n suggestion;
     exit 1
   end;
   (match jobs with
   | Some j -> Dut_engine.Parallel.set_default_jobs j
   | None -> ());
+  Dut_obs.Span.set_sink trace;
   let rng = Dut_prng.Rng.create seed in
   let ell =
-    (* n must be a power of two >= 4 for the hard-family drift model. *)
     let rec log2 acc m = if m <= 1 then acc else log2 (acc + 1) (m / 2) in
     log2 0 n - 1
   in
-  let n = 1 lsl (ell + 1) in
   let q =
     match q_opt with
     | Some q -> q
@@ -43,29 +71,49 @@ let run n k eps q_opt epochs drift_at smoothing crash seed jobs =
     Dut_core.Crash_tester.make ~n ~eps ~k ~q ~crash_prob:crash
       ~calibration_trials:300 ~rng:(Dut_prng.Rng.split rng)
   in
+  (* The calibrated referee thresholds, as gauges: the per-player null
+     reject rate the cutoffs are built from, and the reject-count
+     cutoff for a full (no-crash) fleet. *)
+  Dut_obs.Metrics.set_gauge g_fraction_cutoff
+    (Dut_core.Crash_tester.fraction_cutoff crash_tester);
+  Dut_obs.Metrics.set_gauge g_reject_cutoff
+    (float_of_int (Dut_core.Crash_tester.reject_cutoff crash_tester ~live:k));
   let drifted = Dut_dist.Paninski.random ~ell ~eps rng in
   Printf.printf "stream drifts at epoch %d (l1 distance %.2f from uniform)\n\n"
     drift_at eps;
   let window = Queue.create () in
   let alarm_epoch = ref None in
-  let false_alarms = ref 0 in
   for epoch = 1 to epochs do
     let drifted_now = epoch >= drift_at in
-    let source =
-      if drifted_now then Dut_protocol.Network.of_paninski drifted
-      else Dut_protocol.Network.uniform_source ~n
-    in
+    let epoch_start = Dut_obs.Span.now_ns () in
     let accept =
-      Dut_core.Crash_tester.accepts crash_tester (Dut_prng.Rng.split rng) source
+      Dut_obs.Span.with_ ~name:"epoch"
+        ~attrs:
+          [
+            ("epoch", Dut_obs.Json.int epoch);
+            ("drifted", Dut_obs.Json.Bool drifted_now);
+          ]
+        (fun () ->
+          let source =
+            if drifted_now then Dut_protocol.Network.of_paninski drifted
+            else Dut_protocol.Network.uniform_source ~n
+          in
+          Dut_core.Crash_tester.accepts crash_tester (Dut_prng.Rng.split rng)
+            source)
     in
+    Dut_obs.Metrics.incr m_epochs;
+    Dut_obs.Metrics.add m_epoch_ns (Dut_obs.Span.now_ns () - epoch_start);
     Queue.add accept window;
     if Queue.length window > smoothing then ignore (Queue.pop window);
     let rejects =
       Queue.fold (fun acc a -> if a then acc else acc + 1) 0 window
     in
     let alarm = 2 * rejects > Queue.length window in
-    if alarm && !alarm_epoch = None && drifted_now then alarm_epoch := Some epoch;
-    if alarm && not drifted_now then incr false_alarms;
+    if alarm && !alarm_epoch = None && drifted_now then begin
+      alarm_epoch := Some epoch;
+      Dut_obs.Metrics.set_gauge g_latency (float_of_int (epoch - drift_at + 1))
+    end;
+    if alarm && not drifted_now then Dut_obs.Metrics.incr m_false_alarms;
     Printf.printf "epoch %3d  %-8s vote:%-7s window rejects %d/%d  %s\n" epoch
       (if drifted_now then "DRIFTED" else "uniform")
       (if accept then "accept" else "reject")
@@ -73,15 +121,22 @@ let run n k eps q_opt epochs drift_at smoothing crash seed jobs =
       (if alarm then "<< ALARM" else "")
   done;
   print_newline ();
+  (* The summary reads back the telemetry the loop emitted, so the
+     printed numbers and the --metrics table can never disagree. *)
   (match !alarm_epoch with
   | Some e ->
       Printf.printf "alarm raised at epoch %d: detection latency %d epochs\n" e
         (e - drift_at + 1)
   | None -> print_endline "drift was never flagged (raise q or smoothing)");
-  Printf.printf "false alarms before the drift: %d\n" !false_alarms
+  Printf.printf "false alarms before the drift: %d\n"
+    (Dut_obs.Metrics.value "monitor.false_alarms");
+  if metrics then Dut_obs.Metrics.dump stderr;
+  Dut_obs.Span.set_sink None
 
 let n_arg =
-  Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"Universe size (rounded to a power of two).")
+  Arg.(
+    value & opt int 256
+    & info [ "n" ] ~docv:"N" ~doc:"Universe size (must be a power of two >= 4).")
 
 let k_arg = Arg.(value & opt int 32 & info [ "k" ] ~docv:"K" ~doc:"Number of agents.")
 
@@ -123,12 +178,30 @@ let jobs_arg =
            $(b,DUT_JOBS), else 1). Verdicts are bit-identical for every \
            value.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON Lines span trace (one span per epoch) to $(docv); \
+           stdout is unchanged.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Dump the final counter/gauge table (monitor.*, mc.*, pool.*) to \
+           stderr after the run.")
+
 let cmd =
   let doc = "Online uniformity-drift monitor built on the distributed tester." in
   Cmd.v
     (Cmd.info "dut-monitor" ~doc)
     Term.(
       const run $ n_arg $ k_arg $ eps_arg $ q_arg $ epochs_arg $ drift_arg
-      $ smoothing_arg $ crash_arg $ seed_arg $ jobs_arg)
+      $ smoothing_arg $ crash_arg $ seed_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -17,6 +17,17 @@ type t = {
   mutable shut : bool;
 }
 
+(* Scheduling telemetry: how many task indices each domain claimed, and
+   how long workers sat parked on the has-work condition. Both live in
+   the claiming domain's own counter table (Dut_obs.Metrics), so the
+   tallies cost one array write and never synchronise; they describe
+   the schedule, which is the one thing the engine's determinism
+   contract does NOT fix — sums are consistent, per-domain splits are
+   not reproducible. *)
+let m_tasks_claimed = Dut_obs.Metrics.counter "pool.tasks_claimed"
+
+let m_idle_ns = Dut_obs.Metrics.counter "pool.idle_ns"
+
 (* Per-domain nesting depth: > 0 while executing a pool task. Used to
    route nested parallel calls to the inline sequential path instead of
    blocking a worker on its own pool. *)
@@ -36,6 +47,7 @@ let drain t j =
   let rec go () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.tasks then begin
+      Dut_obs.Metrics.incr m_tasks_claimed;
       (try run_task j i
        with e ->
          Mutex.lock t.mutex;
@@ -60,7 +72,9 @@ let rec worker t =
     | _ ->
         if t.stop then None
         else begin
+          let parked = Dut_obs.Span.now_ns () in
           Condition.wait t.has_work t.mutex;
+          Dut_obs.Metrics.add m_idle_ns (Dut_obs.Span.now_ns () - parked);
           await ()
         end
   in
@@ -124,6 +138,7 @@ let run_inline ~tasks f =
     ~finally:(fun () -> Domain.DLS.set task_depth (Domain.DLS.get task_depth - 1))
     (fun () ->
       for i = 0 to tasks - 1 do
+        Dut_obs.Metrics.incr m_tasks_claimed;
         f i
       done)
 

@@ -4,6 +4,12 @@
    Reuse never changes a computed value, only where intermediate words
    live, so the engine's determinism contract is untouched. *)
 
+(* Arena telemetry: total borrows vs free-list hits gives the reuse
+   rate per run (hits/borrows -> 1.0 once the arenas are warm). *)
+let m_borrows = Dut_obs.Metrics.counter "scratch.borrows"
+
+let m_reuse_hits = Dut_obs.Metrics.counter "scratch.reuse_hits"
+
 type arena = {
   free : (int, int array list ref) Hashtbl.t;
       (* exact length -> free list of released buffers *)
@@ -30,14 +36,18 @@ let reuse_enabled () = Atomic.get reuse
 let borrow ~len =
   if len < 0 then invalid_arg "Scratch.borrow: len < 0";
   if len = 0 then [||]
-  else if not (Atomic.get reuse) then Array.make len 0
-  else
-    let a = arena () in
-    match Hashtbl.find_opt a.free len with
-    | Some ({ contents = buf :: rest } as cell) ->
-        cell := rest;
-        buf
-    | Some { contents = [] } | None -> Array.make len 0
+  else begin
+    Dut_obs.Metrics.incr m_borrows;
+    if not (Atomic.get reuse) then Array.make len 0
+    else
+      let a = arena () in
+      match Hashtbl.find_opt a.free len with
+      | Some ({ contents = buf :: rest } as cell) ->
+          cell := rest;
+          Dut_obs.Metrics.incr m_reuse_hits;
+          buf
+      | Some { contents = [] } | None -> Array.make len 0
+  end
 
 let release buf =
   let len = Array.length buf in

@@ -1,20 +1,50 @@
 (* Experiments render into per-experiment buffers so that [run_all] can
    execute the registry concurrently (one engine task per experiment)
    while emitting output in registry order, byte-identical to the
-   sequential run. *)
+   sequential run.
+
+   Telemetry is strictly out of band: spans go to the Dut_obs sink (a
+   file), counters to per-domain tables, and neither touches the
+   channel — stdout with tracing enabled is byte-identical to stdout
+   without. *)
+
+type report = {
+  wall_seconds : float;
+  cpu_seconds : float;
+  experiments : (string * float) list;
+}
 
 let render_to_buffer ?(csv = false) ~timings cfg exp =
+  Dut_obs.Span.with_ ~name:"experiment"
+    ~attrs:
+      [
+        ("id", Dut_obs.Json.Str exp.Exp.id);
+        ("profile", Dut_obs.Json.Str (Config.profile_to_string cfg.Config.profile));
+      ]
+  @@ fun () ->
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "# %s — %s\n# %s\n# profile=%s seed=%d\n" exp.Exp.id
     exp.title exp.statement
     (Config.profile_to_string cfg.Config.profile)
     cfg.seed;
   let started = Unix.gettimeofday () in
-  let tables = exp.run cfg in
-  List.iter
-    (fun t ->
-      Buffer.add_string buf (if csv then Table.to_csv t else Table.render t);
-      Buffer.add_char buf '\n')
+  let tables =
+    Dut_obs.Span.with_ ~name:"experiment.run"
+      ~attrs:[ ("id", Dut_obs.Json.Str exp.Exp.id) ]
+      (fun () -> exp.run cfg)
+  in
+  List.iteri
+    (fun i t ->
+      Dut_obs.Span.with_ ~name:"table"
+        ~attrs:
+          [
+            ("title", Dut_obs.Json.Str t.Table.title);
+            ("index", Dut_obs.Json.int i);
+            ("rows", Dut_obs.Json.int (List.length t.Table.rows));
+          ]
+        (fun () ->
+          Buffer.add_string buf (if csv then Table.to_csv t else Table.render t);
+          Buffer.add_char buf '\n'))
     tables;
   let elapsed = Unix.gettimeofday () -. started in
   if timings then Printf.bprintf buf "# elapsed: %.1fs\n\n" elapsed
@@ -33,12 +63,30 @@ let run_all_to_channel ?csv ?(timings = true) cfg channel =
      experiments themselves run one at a time (jobs taken by the map
      below otherwise: nested calls fall back to inline execution). *)
   Dut_engine.Parallel.set_default_jobs cfg.Config.jobs;
+  let started = Unix.gettimeofday () in
   let exps = Array.of_list Registry.all in
   let rendered =
-    Dut_engine.Parallel.map ~jobs:cfg.Config.jobs
-      (fun exp -> render_to_buffer ?csv ~timings cfg exp)
-      exps
+    Dut_obs.Span.with_ ~name:"run-all"
+      ~attrs:[ ("jobs", Dut_obs.Json.int cfg.Config.jobs) ]
+      (fun () ->
+        Dut_engine.Parallel.map ~jobs:cfg.Config.jobs
+          (fun exp -> render_to_buffer ?csv ~timings cfg exp)
+          exps)
   in
   Array.iter (fun (buf, _) -> Buffer.output_buffer channel buf) rendered;
+  (* Concurrent experiments overlap, so the per-experiment elapsed
+     times sum to busy (CPU-ish) time, not to the run's duration:
+     report both rather than passing the sum off as a total. *)
+  let wall = Unix.gettimeofday () -. started in
+  let cpu = Array.fold_left (fun t (_, e) -> t +. e) 0. rendered in
+  if timings then
+    Printf.fprintf channel "# total: %.1fs wall, %.1fs summed-cpu (jobs=%d)\n"
+      wall cpu cfg.Config.jobs;
   flush channel;
-  Array.fold_left (fun total (_, elapsed) -> total +. elapsed) 0. rendered
+  {
+    wall_seconds = wall;
+    cpu_seconds = cpu;
+    experiments =
+      Array.to_list
+        (Array.mapi (fun i (_, e) -> (exps.(i).Exp.id, e)) rendered);
+  }

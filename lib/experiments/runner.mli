@@ -6,8 +6,24 @@
     experiment, [run_all_to_channel] runs whole experiments concurrently
     while buffering per-experiment output, so the bytes written — table
     order and content — are identical for every jobs count. Only the
-    ["# elapsed"] timing lines vary run to run; pass [~timings:false] to
-    omit them when diffing outputs. *)
+    ["# elapsed"]/["# total"] timing lines vary run to run; pass
+    [~timings:false] to omit them when diffing outputs.
+
+    Both emit {!Dut_obs} spans — one [experiment] span per experiment
+    (with a nested [experiment.run] span around the computation and a
+    [table] span per rendered table), and [run_all_to_channel] a
+    [run-all] root — when a trace sink is open, and nothing otherwise.
+    Telemetry never writes to the channel: output bytes are identical
+    with and without tracing. *)
+
+type report = {
+  wall_seconds : float;  (** duration of the whole run *)
+  cpu_seconds : float;
+      (** per-experiment elapsed summed across concurrent tasks; exceeds
+          [wall_seconds] when [cfg.jobs > 1] *)
+  experiments : (string * float) list;
+      (** [(id, elapsed seconds)] in registry order *)
+}
 
 val run_to_channel :
   ?csv:bool -> ?timings:bool -> Config.t -> Exp.t -> out_channel -> float
@@ -16,7 +32,7 @@ val run_to_channel :
     seconds. *)
 
 val run_all_to_channel :
-  ?csv:bool -> ?timings:bool -> Config.t -> out_channel -> float
+  ?csv:bool -> ?timings:bool -> Config.t -> out_channel -> report
 (** Run the whole registry, up to [cfg.jobs] experiments concurrently,
-    printing in registry order; returns total elapsed seconds (sum of
-    per-experiment times, not wall-clock). *)
+    printing in registry order, followed (unless [timings:false]) by a
+    ["# total"] line reporting wall-clock and summed-CPU separately. *)

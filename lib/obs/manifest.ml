@@ -1,0 +1,93 @@
+let default_path = Filename.concat "results" "manifest.json"
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let make ~command ~profile ~seed ~jobs ~adaptive ~warm_start ~wall_seconds
+    ~cpu_seconds ~experiments =
+  let counters =
+    List.map
+      (fun (name, v) ->
+        ( name,
+          match v with
+          | Metrics.Count c -> Json.int c
+          | Metrics.Value f -> Json.Num f ))
+      (Metrics.snapshot ())
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "dut-manifest/1");
+      ("command", Json.Str command);
+      ("profile", Json.Str profile);
+      ("seed", Json.int seed);
+      ("jobs", Json.int jobs);
+      ("adaptive", Json.Bool adaptive);
+      ("warm_start", Json.Bool warm_start);
+      ("git", Json.Str (git_describe ()));
+      ("created_unix", Json.Num (Unix.time ()));
+      ("wall_seconds", Json.Num wall_seconds);
+      ("cpu_seconds", Json.Num cpu_seconds);
+      ( "experiments",
+        Json.Arr
+          (List.map
+             (fun (id, seconds) ->
+               Json.Obj [ ("id", Json.Str id); ("seconds", Json.Num seconds) ])
+             experiments) );
+      ("counters", Json.Obj counters);
+    ]
+
+(* Two-space-indented rendering: the manifest is meant to be opened by
+   humans as often as by `dut obs-report`. *)
+let rec pretty b indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Json.Arr (_ :: _ as elts) ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          pretty b (indent + 2) e)
+        elts;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b ']'
+  | Json.Obj (_ :: _ as kvs) ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, e) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          Json.to_buffer b (Json.Str k);
+          Buffer.add_string b ": ";
+          pretty b (indent + 2) e)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b '}'
+  | v -> Json.to_buffer b v
+
+let mkdir_p dir =
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && not (Sys.file_exists parent) then
+      (try Sys.mkdir parent 0o755 with Sys_error _ -> ());
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write ?(path = default_path) manifest =
+  try
+    mkdir_p (Filename.dirname path);
+    let oc = open_out path in
+    let b = Buffer.create 4096 in
+    pretty b 0 manifest;
+    Buffer.add_char b '\n';
+    Buffer.output_buffer oc b;
+    close_out oc
+  with Sys_error msg -> Printf.eprintf "dut: cannot write manifest: %s\n%!" msg

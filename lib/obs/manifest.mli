@@ -1,0 +1,42 @@
+(** Run manifests: one JSON file per run recording what was run, at
+    what cost, under which code.
+
+    Schema ([dut-manifest/1]): [command], [profile], [seed], [jobs],
+    [adaptive], [warm_start], [git] (describe output or ["unknown"]),
+    [created_unix], [wall_seconds], [cpu_seconds] (summed
+    per-experiment time — exceeds wall time under [--jobs]),
+    [experiments] (array of [{id, seconds}] in registry order) and
+    [counters] (the final {!Metrics.snapshot}; counter totals for the
+    jobs-invariant metrics are bit-equal across [--jobs] values, see
+    [doc/observability.md]).
+
+    The manifest is out-of-band telemetry: it is written next to the
+    run ([results/manifest.json] by default), never to stdout, and a
+    failure to write it degrades to a one-line stderr warning rather
+    than failing the run. *)
+
+val default_path : string
+(** ["results/manifest.json"]. *)
+
+val git_describe : unit -> string
+(** [git describe --always --dirty], or ["unknown"] when git or the
+    repository is unavailable. *)
+
+val make :
+  command:string ->
+  profile:string ->
+  seed:int ->
+  jobs:int ->
+  adaptive:bool ->
+  warm_start:bool ->
+  wall_seconds:float ->
+  cpu_seconds:float ->
+  experiments:(string * float) list ->
+  Json.t
+(** Assemble the manifest object, stamping [git], [created_unix] and
+    the current counter snapshot. *)
+
+val write : ?path:string -> Json.t -> unit
+(** Pretty-print the manifest to [path] (default {!default_path}),
+    creating the parent directory if needed. On failure prints a
+    warning to stderr and returns. *)

@@ -1,0 +1,105 @@
+(* -- Monotonised process clock ----------------------------------------- *)
+
+let t0 = Unix.gettimeofday ()
+
+let last_ns = Atomic.make 0
+
+let now_ns () =
+  let raw = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get last_ns in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set last_ns prev raw then raw
+    else clamp ()
+  in
+  clamp ()
+
+(* -- Sink --------------------------------------------------------------- *)
+
+let sink_lock = Mutex.create ()
+
+let sink : out_channel option ref = ref None
+
+(* Read without the lock on the hot no-trace path: a stale [None] only
+   drops a span raced with [set_sink], and stale [Some] is harmless
+   because emission re-checks under the lock. *)
+let enabled () = !sink <> None
+
+let close_locked () =
+  match !sink with
+  | None -> ()
+  | Some oc ->
+      sink := None;
+      close_out_noerr oc
+
+let set_sink path =
+  Mutex.lock sink_lock;
+  close_locked ();
+  (match path with Some p -> sink := Some (open_out p) | None -> ());
+  Mutex.unlock sink_lock
+
+let () = at_exit (fun () ->
+    Mutex.lock sink_lock;
+    close_locked ();
+    Mutex.unlock sink_lock)
+
+let emit_line json =
+  (* Render outside the lock; only the write is serialised. *)
+  let line = Json.to_string json in
+  Mutex.lock sink_lock;
+  (match !sink with
+  | Some oc ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+  | None -> ());
+  Mutex.unlock sink_lock
+
+(* -- Spans -------------------------------------------------------------- *)
+
+let next_id = Atomic.make 1
+
+(* Stack of open span ids on the calling domain, for parent links. *)
+let stack_key = Domain.DLS.new_key (fun () -> ref [])
+
+let domain_id () = (Domain.self () :> int)
+
+let emit ~name ~attrs ~id ~parent ~start ~stop ~raised =
+  let base =
+    [
+      ("name", Json.Str name);
+      ("span", Json.int id);
+      ("parent", match parent with Some p -> Json.int p | None -> Json.Null);
+      ("domain", Json.int (domain_id ()));
+      ("start_ns", Json.int start);
+      ("dur_ns", Json.int (stop - start));
+    ]
+  in
+  let base = if raised then base @ [ ("raised", Json.Bool true) ] else base in
+  let base =
+    if attrs = [] then base else base @ [ ("attrs", Json.Obj attrs) ]
+  in
+  emit_line (Json.Obj base)
+
+let with_ ?(attrs = []) ~name f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let start = now_ns () in
+    stack := id :: !stack;
+    let finish raised =
+      (match !stack with
+      | s :: rest when s = id -> stack := rest
+      | _ -> ());
+      emit ~name ~attrs ~id ~parent ~start ~stop:(now_ns ()) ~raised
+    in
+    match f () with
+    | v ->
+        finish false;
+        v
+    | exception e ->
+        finish true;
+        raise e
+  end

@@ -1,3 +1,18 @@
+(* Every evaluation of a caller's predicate — typically a full
+   Monte-Carlo power estimate — counts one `search.probes`; a seeded
+   search that certifies its guess in two probes also counts one
+   `search.exact_hits`. The probe sequence is a deterministic function
+   of the predicate's answers, so the totals are jobs-invariant. The
+   wrapping happens once per search entry point: [bisect] must always
+   be handed an already-counted predicate. *)
+let m_probes = Dut_obs.Metrics.counter "search.probes"
+
+let m_exact_hits = Dut_obs.Metrics.counter "search.exact_hits"
+
+let counted ok v =
+  Dut_obs.Metrics.incr m_probes;
+  ok v
+
 (* Invariant for [bisect]: ok above = true; ok below = false (or below
    is one past the lower search bound). *)
 let bisect ~below ~above ok =
@@ -12,6 +27,7 @@ let bisect ~below ~above ok =
 
 let bracket_then_bisect ~lo ~hi ok =
   if lo < 0 || hi < lo then invalid_arg "Critical.search: bad bounds";
+  let ok = counted ok in
   (* Doubling phase: find the first power-of-two-scaled point that passes. *)
   let rec double v prev =
     if v >= hi then if ok hi then Some (prev, hi) else None
@@ -26,16 +42,19 @@ let search ?(lo = 1) ?(hi = 1 lsl 22) ok = bracket_then_bisect ~lo ~hi ok
 
 let search_seeded ?(lo = 1) ?(hi = 1 lsl 22) ~guess ok =
   if lo < 0 || hi < lo then invalid_arg "Critical.search_seeded: bad bounds";
+  let ok = counted ok in
   let guess = min hi (max lo guess) in
   if ok guess then begin
     if guess = lo then Some lo
-    else if not (ok (guess - 1)) then
+    else if not (ok (guess - 1)) then begin
       (* Exact hit: the point below the guess fails, so the guess is the
          least passing value. Costs one probe when the guess is merely
          close, but collapses the frequent parameter-invariant case
          (e.g. a grid whose answer does not move between points) from a
          halve-and-bisect descent to two probes. *)
+      Dut_obs.Metrics.incr m_exact_hits;
       Some guess
+    end
     else begin
       (* The guess passes: walk down geometrically until a failing lower
          bracket (or [lo] itself passes), then bisect. With an accurate

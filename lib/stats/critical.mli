@@ -6,7 +6,13 @@
     extra samples, so more never hurts). The search brackets by doubling
     and then bisects, so finding the critical value costs logarithmically
     many predicate evaluations — each of which is typically a full
-    Monte-Carlo power estimate. *)
+    Monte-Carlo power estimate.
+
+    Every predicate evaluation tallies one [search.probes] on
+    {!Dut_obs.Metrics} (and each two-probe certified guess of
+    {!search_seeded} one [search.exact_hits]); the probe sequence is
+    deterministic in the predicate's answers, so both totals are
+    jobs-invariant. *)
 
 val search : ?lo:int -> ?hi:int -> (int -> bool) -> int option
 (** [search ~lo ~hi ok] is the least [v] in [lo..hi] with [ok v], assuming

@@ -1,14 +1,16 @@
-(* Process-wide count of Monte-Carlo trials actually executed, so the
-   bench harness can report trials-consumed per kernel. One atomic add
-   per *estimate* (not per trial): negligible overhead, and still exact
-   because every estimator knows how many trials it ran. *)
-let consumed = Atomic.make 0
+(* Trials actually executed, tallied on the shared metric vocabulary
+   (`mc.trials_used` in Dut_obs) so the bench harness, the manifest and
+   the --metrics dump all read one number. One counter add per
+   *estimate* (not per trial): negligible overhead, and still exact
+   because every estimator knows how many trials it ran. Adaptivity
+   makes trials_used jobs-invariant (stopping depends only on counts at
+   fixed chunk boundaries), so the summed total is bit-equal for every
+   jobs count. *)
+let m_trials_used = Dut_obs.Metrics.counter "mc.trials_used"
 
-let note_trials n = ignore (Atomic.fetch_and_add consumed n)
+let m_early_stops = Dut_obs.Metrics.counter "mc.adaptive_early_stops"
 
-let reset_trials_consumed () = Atomic.set consumed 0
-
-let trials_consumed () = Atomic.get consumed
+let note_trials n = Dut_obs.Metrics.add m_trials_used n
 
 let estimate_prob ?jobs ~trials rng event =
   if trials <= 0 then invalid_arg "Montecarlo.estimate_prob: trials <= 0";
@@ -53,6 +55,7 @@ let estimate_prob_adaptive ?jobs ?(chunk = default_chunk) ~max_trials ~target
   in
   let ci = go () in
   note_trials !used;
+  if !used < max_trials then Dut_obs.Metrics.incr m_early_stops;
   { ci; trials_used = !used }
 
 let estimate_mean ?jobs ~trials rng f =

@@ -69,13 +69,12 @@ val estimate_mean :
 
 (** {2 Trial accounting}
 
-    A process-wide counter of Monte-Carlo trials actually executed,
-    maintained by every estimator above. The bench harness resets it
-    around a kernel run to report trials-consumed — the natural "work"
-    unit that adaptive stopping optimises. *)
-
-val reset_trials_consumed : unit -> unit
-
-val trials_consumed : unit -> int
-(** Trials executed by all estimators since the last reset (atomic,
-    process-wide). *)
+    Every estimator above tallies the trials it actually executed onto
+    the {!Dut_obs.Metrics} counter [mc.trials_used] — the natural
+    "work" unit that adaptive stopping optimises — and each decisive
+    early stop onto [mc.adaptive_early_stops]. Both totals are
+    jobs-invariant (stopping depends only on accumulated counts at
+    fixed chunk boundaries). Read them with
+    [Dut_obs.Metrics.value "mc.trials_used"] or a snapshot delta; the
+    bench harness and the run manifest do exactly that, so every
+    surface shares one metric vocabulary (see [doc/observability.md]). *)

@@ -1,0 +1,294 @@
+(* Tests for Dut_obs: counter aggregation across pool domains, the
+   jobs-invariance contract of the Monte-Carlo / critical-search
+   tallies, span nesting and JSONL validity, the manifest schema, and
+   the out-of-band guarantee — stdout byte-identical with and without
+   a trace sink. *)
+
+open Dut_obs
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let with_temp name f =
+  let path = Filename.temp_file "dut_obs_test" name in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () -> f path
+
+(* -- Json -------------------------------------------------------------- *)
+
+let json = Alcotest.testable (fun ppf j -> Format.pp_print_string ppf (Json.to_string j)) ( = )
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.Str "a \"quoted\"\nline\twith\\escapes");
+        ("count", Json.int 42);
+        ("pi", Json.Num 3.5);
+        ("neg", Json.int (-7));
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ("items", Json.Arr [ Json.int 1; Json.Str "two"; Json.Bool false ]);
+        ("empty_obj", Json.Obj []);
+        ("empty_arr", Json.Arr []);
+      ]
+  in
+  Alcotest.check json "roundtrip" v (Json.parse (Json.to_string v));
+  (* Integers render without a decimal point — the trace/manifest files
+     stay greppable with integer tooling. *)
+  Alcotest.(check string) "int rendering" "7" (Json.to_string (Json.int 7));
+  (* Non-finite numbers degrade to null rather than emitting invalid JSON. *)
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Num Float.nan));
+  (match Json.parse "null x" with
+  | exception Json.Malformed _ -> ()
+  | _ -> Alcotest.fail "trailing garbage accepted")
+
+(* -- Counters ---------------------------------------------------------- *)
+
+let test_counter_sum_across_domains () =
+  let c = Metrics.counter "test.obs.domain_sum" in
+  let before = Metrics.value "test.obs.domain_sum" in
+  let pool = Dut_engine.Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Dut_engine.Pool.shutdown pool) @@ fun () ->
+  Dut_engine.Pool.run pool ~tasks:500 (fun _ -> Metrics.incr c);
+  (* The pool join is the aggregation point: every per-domain tally is
+     published, the snapshot sum is exact. *)
+  Alcotest.(check int) "sum over domains" 500
+    (Metrics.value "test.obs.domain_sum" - before);
+  Alcotest.(check bool) "snapshot carries it" true
+    (List.exists
+       (fun (n, v) ->
+         n = "test.obs.domain_sum" && v = Metrics.Count (before + 500))
+       (Metrics.snapshot ()))
+
+let pool_claims_delta ~jobs ~tasks =
+  let before = Metrics.value "pool.tasks_claimed" in
+  let pool = Dut_engine.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Dut_engine.Pool.shutdown pool) @@ fun () ->
+  Dut_engine.Pool.run pool ~tasks (fun _ -> ());
+  Metrics.value "pool.tasks_claimed" - before
+
+let test_pool_claims_sum_consistent () =
+  (* pool.tasks_claimed is schedule-dependent per domain, but its sum
+     is the number of tasks — on the inline jobs=1 path and the
+     multi-domain path alike. *)
+  Alcotest.(check int) "jobs=1 claims" 137 (pool_claims_delta ~jobs:1 ~tasks:137);
+  Alcotest.(check int) "jobs=4 claims" 137 (pool_claims_delta ~jobs:4 ~tasks:137)
+
+(* -- Jobs-invariance of the stats tallies ------------------------------ *)
+
+(* One critical search whose predicate is an adaptive Monte-Carlo
+   estimate: the engine's determinism contract promises the answer and
+   the mc.*/search.* tallies are bit-identical for every jobs count. *)
+let search_leg ~jobs =
+  let rng = Dut_prng.Rng.create 42 in
+  let t0 = Metrics.value "mc.trials_used" in
+  let e0 = Metrics.value "mc.adaptive_early_stops" in
+  let p0 = Metrics.value "search.probes" in
+  let answer =
+    Dut_stats.Critical.search ~lo:1 ~hi:4096 (fun q ->
+        let a =
+          Dut_stats.Montecarlo.estimate_prob_adaptive ~jobs ~max_trials:160
+            ~target:0.7 (Dut_prng.Rng.split rng) (fun r ->
+              Dut_prng.Rng.unit_float r < 0.2 +. (0.7 *. float_of_int q /. 4096.))
+        in
+        a.Dut_stats.Montecarlo.ci.Dut_stats.Binomial_ci.estimate >= 0.7)
+  in
+  ( answer,
+    Metrics.value "mc.trials_used" - t0,
+    Metrics.value "mc.adaptive_early_stops" - e0,
+    Metrics.value "search.probes" - p0 )
+
+let test_jobs_invariant_tallies () =
+  let a1, t1, e1, p1 = search_leg ~jobs:1 in
+  let a4, t4, e4, p4 = search_leg ~jobs:4 in
+  Alcotest.(check bool) "search found a critical value" true (a1 <> None);
+  Alcotest.(check bool) "same answer" true (a1 = a4);
+  Alcotest.(check int) "mc.trials_used invariant" t1 t4;
+  Alcotest.(check int) "mc.adaptive_early_stops invariant" e1 e4;
+  Alcotest.(check int) "search.probes invariant" p1 p4;
+  Alcotest.(check bool) "trials were spent" true (t1 > 0);
+  Alcotest.(check bool) "probes were spent" true (p1 > 0)
+
+(* -- Spans ------------------------------------------------------------- *)
+
+let span_records path =
+  List.map
+    (fun line ->
+      let j = Json.parse line in
+      ( int_of_float (Json.want_num j "span"),
+        ( Json.want_str j "name",
+          Json.field_opt j "parent",
+          int_of_float (Json.want_num j "start_ns"),
+          int_of_float (Json.want_num j "dur_ns"),
+          Json.field_opt j "raised" <> None ) ))
+    (read_lines path)
+
+let test_span_nesting_and_jsonl () =
+  with_temp ".jsonl" @@ fun path ->
+  Span.set_sink (Some path);
+  Alcotest.(check bool) "sink open" true (Span.enabled ());
+  Span.with_ ~name:"outer" (fun () ->
+      Span.with_ ~name:"inner"
+        ~attrs:[ ("k", Json.Str "v") ]
+        (fun () -> ignore (Sys.opaque_identity 0));
+      try Span.with_ ~name:"boom" (fun () -> raise Exit) with Exit -> ());
+  Span.set_sink None;
+  Alcotest.(check bool) "sink closed" false (Span.enabled ());
+  let spans = span_records path in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find name =
+    let id, (_, parent, start, dur, raised) =
+      List.find (fun (_, (n, _, _, _, _)) -> n = name) spans
+    in
+    (id, parent, start, dur, raised)
+  in
+  let outer_id, outer_parent, outer_start, outer_dur, _ = find "outer" in
+  let _, inner_parent, inner_start, inner_dur, inner_raised = find "inner" in
+  let _, boom_parent, _, _, boom_raised = find "boom" in
+  Alcotest.check json "outer is a root" Json.Null
+    (Option.value ~default:Json.Null outer_parent);
+  Alcotest.check json "inner child of outer" (Json.int outer_id)
+    (Option.get inner_parent);
+  Alcotest.check json "boom child of outer" (Json.int outer_id)
+    (Option.get boom_parent);
+  Alcotest.(check bool) "raised flagged" true boom_raised;
+  Alcotest.(check bool) "clean span unflagged" false inner_raised;
+  (* Interval containment on the monotonised clock. *)
+  Alcotest.(check bool) "inner starts after outer" true (inner_start >= outer_start);
+  Alcotest.(check bool) "inner ends within outer" true
+    (inner_start + inner_dur <= outer_start + outer_dur);
+  (* Attrs survive the trip. *)
+  let inner_line =
+    List.find (fun l -> Json.want_str (Json.parse l) "name" = "inner") (read_lines path)
+  in
+  Alcotest.(check string) "attr value" "v"
+    (Json.want_str (Json.field (Json.parse inner_line) "attrs") "k")
+
+let test_span_disabled_is_passthrough () =
+  Alcotest.(check bool) "no sink" false (Span.enabled ());
+  Alcotest.(check int) "with_ returns" 7 (Span.with_ ~name:"noop" (fun () -> 7));
+  Alcotest.check_raises "with_ reraises" Exit (fun () ->
+      Span.with_ ~name:"noop" (fun () -> raise Exit))
+
+(* -- Manifest ---------------------------------------------------------- *)
+
+let test_manifest_schema () =
+  with_temp ".json" @@ fun path ->
+  let m =
+    Manifest.make ~command:"run-all" ~profile:"fast" ~seed:7 ~jobs:4
+      ~adaptive:true ~warm_start:false ~wall_seconds:1.5 ~cpu_seconds:4.25
+      ~experiments:[ ("T1-any-rule", 0.5); ("T5-centralized", 1.0) ]
+  in
+  Manifest.write ~path m;
+  let j = Json.parse (read_file path) in
+  Alcotest.(check string) "schema" "dut-manifest/1" (Json.want_str j "schema");
+  Alcotest.(check string) "command" "run-all" (Json.want_str j "command");
+  Alcotest.(check int) "seed" 7 (int_of_float (Json.want_num j "seed"));
+  Alcotest.(check int) "jobs" 4 (int_of_float (Json.want_num j "jobs"));
+  Alcotest.(check bool) "adaptive" true (Json.want_bool j "adaptive");
+  Alcotest.(check bool) "warm_start" false (Json.want_bool j "warm_start");
+  Alcotest.(check (float 1e-9)) "cpu" 4.25 (Json.want_num j "cpu_seconds");
+  (match Json.field j "experiments" with
+  | Json.Arr [ e1; e2 ] ->
+      Alcotest.(check string) "exp order" "T1-any-rule" (Json.want_str e1 "id");
+      Alcotest.(check (float 1e-9)) "exp seconds" 1.0 (Json.want_num e2 "seconds")
+  | _ -> Alcotest.fail "experiments is not a 2-array");
+  (* The counter snapshot rides along; mc.trials_used is registered by
+     the stats library this test links (and exercised above). *)
+  (match Json.field j "counters" with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "mc.trials_used present" true
+        (List.mem_assoc "mc.trials_used" fields)
+  | _ -> Alcotest.fail "counters is not an object");
+  Alcotest.(check bool) "git stamp nonempty" true
+    (String.length (Json.want_str j "git") > 0)
+
+(* -- Out-of-band guarantee --------------------------------------------- *)
+
+module Registry = Dut_experiments.Registry
+module Runner = Dut_experiments.Runner
+module Config = Dut_experiments.Config
+
+let run_registry_experiment ~trace path =
+  (match Registry.find "T8-combinatorics" with
+  | None -> Alcotest.fail "T8-combinatorics not registered"
+  | Some exp ->
+      Span.set_sink trace;
+      Fun.protect ~finally:(fun () -> Span.set_sink None) @@ fun () ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+      ignore
+        (Runner.run_to_channel ~timings:false
+           (Config.make ~trials:20 Config.Fast)
+           exp oc));
+  read_file path
+
+let test_stdout_identical_with_trace () =
+  with_temp ".out" @@ fun out_plain ->
+  with_temp ".out" @@ fun out_traced ->
+  with_temp ".jsonl" @@ fun trace ->
+  let plain = run_registry_experiment ~trace:None out_plain in
+  let traced = run_registry_experiment ~trace:(Some trace) out_traced in
+  Alcotest.(check string) "output bytes identical" plain traced;
+  let lines = read_lines trace in
+  Alcotest.(check bool) "trace nonempty" true (lines <> []);
+  (* Every line parses and carries the span schema; exactly one
+     experiment root span for the run. *)
+  let names =
+    List.map
+      (fun l ->
+        let j = Json.parse l in
+        ignore (Json.want_num j "span");
+        ignore (Json.want_num j "start_ns");
+        ignore (Json.want_num j "dur_ns");
+        ignore (Json.want_num j "domain");
+        Json.want_str j "name")
+      lines
+  in
+  Alcotest.(check int) "one experiment span" 1
+    (List.length (List.filter (( = ) "experiment") names));
+  Alcotest.(check bool) "table spans present" true (List.mem "table" names)
+
+(* ---------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "dut_obs"
+    [
+      ("json", [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "sum across domains" `Quick
+            test_counter_sum_across_domains;
+          Alcotest.test_case "pool claims sum-consistent" `Quick
+            test_pool_claims_sum_consistent;
+          Alcotest.test_case "jobs-invariant tallies" `Quick
+            test_jobs_invariant_tallies;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and jsonl" `Quick
+            test_span_nesting_and_jsonl;
+          Alcotest.test_case "disabled passthrough" `Quick
+            test_span_disabled_is_passthrough;
+        ] );
+      ( "manifest",
+        [ Alcotest.test_case "schema" `Quick test_manifest_schema ] );
+      ( "out-of-band",
+        [
+          Alcotest.test_case "stdout identical with trace" `Quick
+            test_stdout_identical_with_trace;
+        ] );
+    ]

@@ -91,26 +91,97 @@ let metrics_arg =
           "After the run, dump the final counter/gauge table \
            (mc.trials_used, search.probes, pool.*, scratch.*) to stderr.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout-s" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-experiment watchdog: an experiment exceeding $(docv) is \
+           cancelled cooperatively (at the next engine check point), \
+           reported as failed in its slot, and the run continues.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay experiments whose checkpoint under results/checkpoints/ \
+           matches this run's profile, seed, trials, flags and git state \
+           byte-identically; re-run only missing, failed or stale ones.")
+
+module Runner = Dut_experiments.Runner
+
 (* Telemetry bracket shared by run/run-all: open the span sink before
    the run, then write results/manifest.json, optionally dump the
    counter table to stderr, and close the sink. Everything here is
-   out-of-band — stdout is untouched. *)
+   out-of-band — stdout is untouched. Returns the run's report so the
+   caller can turn failures into the exit code. *)
 let with_obs ~trace ~metrics ~command ~cfg run =
   Dut_obs.Span.set_sink trace;
   let finally () = Dut_obs.Span.set_sink None in
   Fun.protect ~finally @@ fun () ->
-  let wall_seconds, cpu_seconds, experiments = run () in
+  let report = run () in
+  let experiments =
+    List.map
+      (fun (o : Runner.outcome) ->
+        {
+          Dut_obs.Manifest.id = o.id;
+          seconds = o.seconds;
+          status =
+            (match o.status with
+            | Runner.Ok -> "ok"
+            | Runner.Failed _ -> "failed"
+            | Runner.Interrupted -> "interrupted");
+          resumed = o.resumed;
+          error =
+            (match o.status with
+            | Runner.Failed { exn; _ } -> Some exn
+            | _ -> None);
+        })
+      report.Runner.experiments
+  in
   Dut_obs.Manifest.write
     (Dut_obs.Manifest.make ~command
        ~profile:
          (Dut_experiments.Config.profile_to_string
             cfg.Dut_experiments.Config.profile)
-       ~seed:cfg.seed ~jobs:cfg.jobs ~adaptive:cfg.adaptive
-       ~warm_start:cfg.warm_start ~wall_seconds ~cpu_seconds ~experiments);
-  if metrics then Dut_obs.Metrics.dump stderr
+       ~seed:cfg.seed ~jobs:cfg.jobs ~jobs_requested:cfg.jobs_requested
+       ~adaptive:cfg.adaptive ~warm_start:cfg.warm_start
+       ~wall_seconds:report.Runner.wall_seconds
+       ~cpu_seconds:report.Runner.cpu_seconds ~experiments);
+  if metrics then Dut_obs.Metrics.dump stderr;
+  report
+
+(* Failure isolation means the process must carry the verdict: 130 for
+   an interrupted run (the shell convention for SIGINT), 1 when any
+   experiment failed, 0 otherwise — with a one-line stderr summary, so
+   scripted callers see why without parsing stdout. *)
+let exit_of_report (report : Runner.report) =
+  let outcomes = report.Runner.experiments in
+  let n_failed = List.length (List.filter Runner.failed outcomes) in
+  let n_interrupted =
+    List.length
+      (List.filter (fun o -> o.Runner.status = Runner.Interrupted) outcomes)
+  in
+  if n_interrupted > 0 then begin
+    Printf.eprintf
+      "dut: interrupted — %d of %d experiments completed; finish with `dut \
+       run-all --resume`\n\
+       %!"
+      (List.length outcomes - n_interrupted)
+      (List.length outcomes);
+    130
+  end
+  else if n_failed > 0 then begin
+    Printf.eprintf "dut: %d of %d experiments failed (see # ERROR blocks)\n%!"
+      n_failed (List.length outcomes);
+    1
+  end
+  else 0
 
 let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ~trace ~metrics
-    ?trials ?jobs id =
+    ?trials ?jobs ?timeout_s id =
   match Dut_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `dut list`\n" id;
@@ -120,11 +191,18 @@ let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ~trace ~metrics
         Dut_experiments.Config.make ~seed ?trials ?jobs ~adaptive ~warm_start
           profile
       in
-      with_obs ~trace ~metrics ~command:("run " ^ id) ~cfg (fun () ->
-          let elapsed =
-            Dut_experiments.Runner.run_to_channel ~csv ~timings cfg exp stdout
-          in
-          (elapsed, elapsed, [ (id, elapsed) ]))
+      let report =
+        with_obs ~trace ~metrics ~command:("run " ^ id) ~cfg (fun () ->
+            let outcome =
+              Runner.run_to_channel ~csv ~timings ?timeout_s cfg exp stdout
+            in
+            {
+              Runner.wall_seconds = outcome.Runner.seconds;
+              cpu_seconds = outcome.Runner.seconds;
+              experiments = [ outcome ];
+            })
+      in
+      exit (exit_of_report report)
 
 let list_cmd =
   let doc = "List the available experiments." in
@@ -143,41 +221,46 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT-ID")
   in
   let run profile seed csv trials jobs no_timings no_adaptive cold_search
-      trace metrics id =
+      trace metrics timeout_s id =
     run_one ~profile ~seed ~csv ~timings:(not no_timings)
       ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) ~trace
-      ~metrics ?trials ?jobs id
+      ~metrics ?trials ?jobs ?timeout_s id
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
       $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ trace_arg
-      $ metrics_arg $ id_arg)
+      $ metrics_arg $ timeout_arg $ id_arg)
 
 let run_all_cmd =
   let doc =
-    "Run every experiment in the registry (up to --jobs concurrently)."
+    "Run every experiment in the registry (up to --jobs concurrently). \
+     Failing experiments render an # ERROR block in their slot and make \
+     the exit code non-zero; the others complete, print and checkpoint \
+     normally. SIGINT/SIGTERM stops gracefully (exit 130, partial \
+     manifest, completed work checkpointed); $(b,--resume) finishes such \
+     a run."
   in
   let run profile seed csv trials jobs no_timings no_adaptive cold_search
-      trace metrics =
+      trace metrics timeout_s resume =
     let cfg =
       Dut_experiments.Config.make ~seed ?trials ?jobs
         ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) profile
     in
-    with_obs ~trace ~metrics ~command:"run-all" ~cfg (fun () ->
-        let report =
-          Dut_experiments.Runner.run_all_to_channel ~csv
-            ~timings:(not no_timings) cfg stdout
-        in
-        ( report.Dut_experiments.Runner.wall_seconds,
-          report.cpu_seconds,
-          report.experiments ))
+    let report =
+      Runner.with_sigint_guard (fun () ->
+          with_obs ~trace ~metrics ~command:"run-all" ~cfg (fun () ->
+              Runner.run_all_to_channel ~csv ~timings:(not no_timings)
+                ~checkpoint_dir:Dut_experiments.Checkpoint.default_dir ~resume
+                ?timeout_s cfg stdout))
+    in
+    exit (exit_of_report report)
   in
   Cmd.v (Cmd.info "run-all" ~doc)
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
       $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ timeout_arg $ resume_arg)
 
 let bounds_cmd =
   let doc = "Print every bound of the paper for given parameters." in
@@ -283,9 +366,19 @@ let report_manifest path =
         Printf.printf "manifest %s (%s, git %s)\n" path (Json.want_str m "schema")
           (Json.want_str m "git");
         Printf.printf "  command     %s\n" (Json.want_str m "command");
-        Printf.printf "  profile     %-6s seed %.0f   jobs %.0f\n"
+        (* status and jobs_requested arrived with dut-manifest/2; render
+           a /1 manifest without them rather than failing on it. *)
+        (match Json.field_opt m "status" with
+        | Some (Json.Str s) -> Printf.printf "  status      %s\n" s
+        | _ -> ());
+        let requested =
+          match Json.field_opt m "jobs_requested" with
+          | Some (Json.Num r) -> Printf.sprintf " (requested %.0f, clamped)" r
+          | _ -> ""
+        in
+        Printf.printf "  profile     %-6s seed %.0f   jobs %.0f%s\n"
           (Json.want_str m "profile") (Json.want_num m "seed")
-          (Json.want_num m "jobs");
+          (Json.want_num m "jobs") requested;
         Printf.printf "  adaptive    %-6s warm-start %s\n"
           (yn (Json.want_bool m "adaptive"))
           (yn (Json.want_bool m "warm_start"));
@@ -294,19 +387,58 @@ let report_manifest path =
           (Json.want_num m "cpu_seconds");
         (match Json.field m "experiments" with
         | Json.Arr exps ->
-            let timed =
-              List.map
-                (fun e -> (Json.want_str e "id", Json.want_num e "seconds"))
-                exps
+            let entry e =
+              let status =
+                match Json.field_opt e "status" with
+                | Some (Json.Str s) -> s
+                | _ -> "ok"
+              in
+              let resumed =
+                match Json.field_opt e "resumed" with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              (Json.want_str e "id", Json.want_num e "seconds", status, resumed)
             in
+            let timed = List.map entry exps in
+            let count p = List.length (List.filter p timed) in
+            let n_failed = count (fun (_, _, s, _) -> s = "failed") in
+            let n_interrupted = count (fun (_, _, s, _) -> s = "interrupted") in
+            let n_resumed = count (fun (_, _, _, r) -> r) in
+            Printf.printf "\nexperiments (%d" (List.length timed);
+            if n_resumed > 0 then Printf.printf ", %d resumed" n_resumed;
+            if n_failed > 0 then Printf.printf ", %d FAILED" n_failed;
+            if n_interrupted > 0 then
+              Printf.printf ", %d interrupted" n_interrupted;
+            print_endline ", slowest first)";
+            let annotate status resumed =
+              (if resumed then "  (resumed)" else "")
+              ^ match status with "ok" -> "" | s -> "  " ^ String.uppercase_ascii s
+            in
+            List.iter
+              (fun (id, _, status, resumed) ->
+                if status = "failed" then
+                  match
+                    List.find_opt
+                      (fun e -> Json.want_str e "id" = id)
+                      exps
+                  with
+                  | Some e -> (
+                      match Json.field_opt e "error" with
+                      | Some (Json.Str msg) ->
+                          Printf.printf "  %-22s FAILED: %s%s\n" id msg
+                            (if resumed then " (resumed)" else "")
+                      | _ -> ())
+                  | None -> ())
+              timed;
             let slowest =
-              List.sort (fun (_, a) (_, b) -> Float.compare b a) timed
+              List.sort (fun (_, a, _, _) (_, b, _, _) -> Float.compare b a) timed
             in
-            Printf.printf "\nexperiments (%d, slowest first)\n"
-              (List.length timed);
             List.iteri
-              (fun i (id, s) ->
-                if i < 10 then Printf.printf "  %-22s %7.1fs\n" id s)
+              (fun i (id, s, status, resumed) ->
+                if i < 10 then
+                  Printf.printf "  %-22s %7.1fs%s\n" id s
+                    (annotate status resumed))
               slowest;
             if List.length slowest > 10 then
               Printf.printf "  ... %d more\n" (List.length slowest - 10)
@@ -414,6 +546,9 @@ let main =
     [ list_cmd; run_cmd; run_all_cmd; bounds_cmd; verify_cmd; obs_report_cmd ]
 
 let () =
+  (* Backtraces feed the # ERROR blocks failure isolation renders; the
+     flag costs nothing unless something actually raises. *)
+  Printexc.record_backtrace true;
   (* Out-of-range option values (--trials 0, --jobs 0) surface as
      Invalid_argument from Config.make; report them as CLI errors
      rather than cmdliner's "internal error" backtrace. *)

@@ -1,0 +1,47 @@
+(* Cooperative per-experiment deadlines.
+
+   A deadline is an absolute timestamp on the Dut_obs.Span.now_ns clock
+   stored in domain-local storage. It propagates two ways: nested
+   [with_timeout] calls on one domain tighten the stored value, and
+   [Pool.run] snapshots the submitter's deadline into the job so worker
+   domains check the same budget (and restore their own state after
+   each task).
+
+   Nothing is preemptive — a computation that never calls [check] (and
+   never goes through the engine's claim points) runs to completion.
+   The engine checks at every task claim, and the [Parallel]
+   combinators check per element when a deadline is active, which puts
+   a check inside every Monte-Carlo trial loop in the tree. *)
+
+exception Exceeded
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded -> Some "Dut_engine.Deadline.Exceeded (cooperative timeout)"
+    | _ -> None)
+
+let key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let get_ns () = Domain.DLS.get key
+
+let set_ns d = Domain.DLS.set key d
+
+let active () = Domain.DLS.get key <> None
+
+let check () =
+  match Domain.DLS.get key with
+  | Some d when Dut_obs.Span.now_ns () > d -> raise Exceeded
+  | _ -> ()
+
+let with_timeout ?seconds f =
+  match seconds with
+  | None -> f ()
+  | Some s ->
+      if s <= 0. then invalid_arg "Deadline.with_timeout: seconds <= 0";
+      let d = Dut_obs.Span.now_ns () + int_of_float (s *. 1e9) in
+      let saved = get_ns () in
+      (* An enclosing deadline can only tighten: a nested timeout never
+         buys more time than the caller already granted. *)
+      let d = match saved with Some p -> min p d | None -> d in
+      set_ns (Some d);
+      Fun.protect ~finally:(fun () -> set_ns saved) f

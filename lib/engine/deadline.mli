@@ -1,0 +1,43 @@
+(** Cooperative deadlines for bounded experiment execution.
+
+    [with_timeout ~seconds f] arms a deadline on the calling domain for
+    the duration of [f]; {!check} raises {!Exceeded} once it has
+    passed. The engine checks at every task claim ({!Pool.run}
+    propagates the submitter's deadline to its worker domains), and the
+    {!Parallel} combinators check once per element while a deadline is
+    active — so any computation built on the engine's Monte-Carlo loops
+    is interrupted within one trial of the budget expiring.
+
+    The mechanism is strictly cooperative: code that never reaches a
+    check point runs to completion, and an expired deadline surfaces as
+    an ordinary exception (isolated per-experiment by
+    [Dut_experiments.Runner], reported as a [failed] status). With no
+    deadline armed, {!check} is one domain-local read — the combinators
+    skip even that unless {!active} says otherwise, so the watchdog
+    costs nothing until opted into ([--timeout-s]). *)
+
+exception Exceeded
+(** Raised by {!check} (and hence from inside engine loops) once the
+    armed deadline has passed. *)
+
+val with_timeout : ?seconds:float -> (unit -> 'a) -> 'a
+(** Run the thunk with a deadline of [seconds] from now, restoring the
+    previous deadline state afterwards. Nested calls can only tighten
+    the budget. [?seconds:None] is a plain call.
+
+    @raise Invalid_argument if [seconds <= 0]. *)
+
+val check : unit -> unit
+(** @raise Exceeded if the calling domain's deadline has passed. *)
+
+val active : unit -> bool
+(** Whether a deadline is armed on the calling domain. *)
+
+val get_ns : unit -> int option
+(** The armed deadline as absolute nanoseconds on the
+    {!Dut_obs.Span.now_ns} clock, for propagation into pool jobs. *)
+
+val set_ns : int option -> unit
+(** Overwrite the calling domain's deadline state; used by the pool to
+    hand a submitter's deadline to worker domains (save/restore around
+    each task). *)

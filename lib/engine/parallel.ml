@@ -71,10 +71,21 @@ let chunked ~jobs ~n f_range =
           parts.(c) <- f_range lo hi));
   Array.concat (Array.to_list parts)
 
+(* Sequential fallbacks check the cooperative deadline once per element
+   — but only when one is armed, so the default path pays a single DLS
+   read per combinator call, never per element. This is what makes
+   --timeout-s bite inside the Monte-Carlo trial loops, which run on
+   these paths whenever they are nested under a pool task. *)
+let checked f =
+  if Deadline.active () then fun x ->
+    Deadline.check ();
+    f x
+  else f
+
 let map ?jobs f a =
   let jobs = resolve_jobs jobs in
   let n = Array.length a in
-  if jobs <= 1 || n <= 1 || Pool.in_task () then Array.map f a
+  if jobs <= 1 || n <= 1 || Pool.in_task () then Array.map (checked f) a
   else chunked ~jobs ~n (fun lo hi -> Array.init (hi - lo) (fun i -> f a.(lo + i)))
 
 let init ?jobs ~rng ~n f =
@@ -85,7 +96,8 @@ let init ?jobs ~rng ~n f =
      children are exactly those the sequential loop would draw. *)
   let rngs = Array.init n (fun _ -> Dut_prng.Rng.split rng) in
   if jobs <= 1 || n <= 1 || Pool.in_task () then
-    Array.mapi (fun i r -> f r i) rngs
+    let f = checked (fun (r, i) -> f r i) in
+    Array.mapi (fun i r -> f (r, i)) rngs
   else
     chunked ~jobs ~n (fun lo hi ->
         Array.init (hi - lo) (fun i -> f rngs.(lo + i) (lo + i)))

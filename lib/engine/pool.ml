@@ -1,9 +1,11 @@
 type job = {
   f : int -> unit;
   tasks : int;
-  next : int Atomic.t;  (* next unclaimed task index *)
-  mutable completed : int;  (* guarded by the pool mutex *)
-  mutable failed : exn option;  (* first failure, guarded by the pool mutex *)
+  next : int Atomic.t;  (* next unclaimed task index; >= tasks = no more work *)
+  deadline : int option;  (* submitter's Deadline.get_ns at submission *)
+  mutable running : int;  (* claimed but unfinished tasks, guarded by the pool mutex *)
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+      (* first failure, guarded by the pool mutex *)
 }
 
 type t = {
@@ -28,6 +30,12 @@ let m_tasks_claimed = Dut_obs.Metrics.counter "pool.tasks_claimed"
 
 let m_idle_ns = Dut_obs.Metrics.counter "pool.idle_ns"
 
+(* Tasks a job never started because an earlier task failed (or the
+   deadline passed): the fast-fail path below jumps the claim counter
+   past [tasks] so no domain keeps claiming doomed work. Claimed +
+   cancelled always sums to the job's task count. *)
+let m_tasks_cancelled = Dut_obs.Metrics.counter "pool.tasks_cancelled"
+
 (* Per-domain nesting depth: > 0 while executing a pool task. Used to
    route nested parallel calls to the inline sequential path instead of
    blocking a worker on its own pool. *)
@@ -37,28 +45,67 @@ let in_task () = Domain.DLS.get task_depth > 0
 
 let run_task j i =
   Domain.DLS.set task_depth (Domain.DLS.get task_depth + 1);
+  (* Worker domains inherit the submitter's deadline for the duration
+     of the task, so a --timeout-s armed on the submitting domain bounds
+     the whole job; the previous state is restored either way. *)
+  let saved_deadline = Deadline.get_ns () in
+  Deadline.set_ns j.deadline;
   Fun.protect
-    ~finally:(fun () -> Domain.DLS.set task_depth (Domain.DLS.get task_depth - 1))
-    (fun () -> j.f i)
+    ~finally:(fun () ->
+      Deadline.set_ns saved_deadline;
+      Domain.DLS.set task_depth (Domain.DLS.get task_depth - 1))
+    (fun () ->
+      Deadline.check ();
+      j.f i)
 
 (* Claim and run tasks of [j] until its counter is exhausted. Callable
-   from workers and from the submitter alike. *)
+   from workers and from the submitter alike.
+
+   Failure fast-fails the job: the first exception is recorded (with
+   its backtrace) and the claim counter jumps past [tasks], so no
+   domain claims further work. Tasks already running on other domains
+   complete; tasks never claimed are tallied as pool.tasks_cancelled. *)
 let drain t j =
-  let rec go () =
-    let i = Atomic.fetch_and_add j.next 1 in
-    if i < j.tasks then begin
-      Dut_obs.Metrics.incr m_tasks_claimed;
-      (try run_task j i
-       with e ->
-         Mutex.lock t.mutex;
-         if j.failed = None then j.failed <- Some e;
-         Mutex.unlock t.mutex);
-      Mutex.lock t.mutex;
-      j.completed <- j.completed + 1;
-      if j.completed = j.tasks then Condition.broadcast t.job_done;
+  let claim () =
+    Mutex.lock t.mutex;
+    let i = Atomic.get j.next in
+    if i >= j.tasks then begin
       Mutex.unlock t.mutex;
-      go ()
+      None
     end
+    else begin
+      Atomic.set j.next (i + 1);
+      j.running <- j.running + 1;
+      Mutex.unlock t.mutex;
+      Some i
+    end
+  in
+  let fail e bt =
+    Mutex.lock t.mutex;
+    if j.failed = None then j.failed <- Some (e, bt);
+    let skipped = j.tasks - Atomic.get j.next in
+    if skipped > 0 then begin
+      Atomic.set j.next j.tasks;
+      Dut_obs.Metrics.add m_tasks_cancelled skipped
+    end;
+    Mutex.unlock t.mutex
+  in
+  let finish () =
+    Mutex.lock t.mutex;
+    j.running <- j.running - 1;
+    if j.running = 0 && Atomic.get j.next >= j.tasks then
+      Condition.broadcast t.job_done;
+    Mutex.unlock t.mutex
+  in
+  let rec go () =
+    match claim () with
+    | None -> ()
+    | Some i ->
+        Dut_obs.Metrics.incr m_tasks_claimed;
+        (try run_task j i
+         with e -> fail e (Printexc.get_raw_backtrace ()));
+        finish ();
+        go ()
   in
   go ()
 
@@ -130,24 +177,45 @@ let create ~jobs =
 let jobs t = t.jobs
 
 (* The inline path keeps the same [in_task] contract as worker
-   execution, so task code observes identical state whether the pool
-   was clamped to one domain or not. *)
+   execution, and the same failure semantics as the pooled path: the
+   first exception cancels every task after the failing one (tallied as
+   pool.tasks_cancelled) and re-raises with its original backtrace, so
+   what a caller observes on failure does not depend on the jobs
+   count. *)
 let run_inline ~tasks f =
   Domain.DLS.set task_depth (Domain.DLS.get task_depth + 1);
   Fun.protect
     ~finally:(fun () -> Domain.DLS.set task_depth (Domain.DLS.get task_depth - 1))
     (fun () ->
-      for i = 0 to tasks - 1 do
-        Dut_obs.Metrics.incr m_tasks_claimed;
-        f i
-      done)
+      let i = ref 0 in
+      try
+        while !i < tasks do
+          Deadline.check ();
+          Dut_obs.Metrics.incr m_tasks_claimed;
+          f !i;
+          incr i
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        let skipped = tasks - !i - 1 in
+        if skipped > 0 then Dut_obs.Metrics.add m_tasks_cancelled skipped;
+        Printexc.raise_with_backtrace e bt)
 
 let run t ~tasks f =
   if t.shut then invalid_arg "Pool.run: pool is shut down";
   if tasks > 0 then
     if t.jobs = 1 || tasks = 1 || in_task () then run_inline ~tasks f
     else begin
-      let j = { f; tasks; next = Atomic.make 0; completed = 0; failed = None } in
+      let j =
+        {
+          f;
+          tasks;
+          next = Atomic.make 0;
+          deadline = Deadline.get_ns ();
+          running = 0;
+          failed = None;
+        }
+      in
       Mutex.lock t.mutex;
       while t.job <> None do
         Condition.wait t.job_done t.mutex
@@ -157,14 +225,19 @@ let run t ~tasks f =
       Mutex.unlock t.mutex;
       drain t j;
       Mutex.lock t.mutex;
-      while j.completed < j.tasks do
+      (* Done when nothing is claimable and nothing claimed is still
+         running — under cancellation the claim counter jumps, so the
+         tasks-completed count can be smaller than [tasks]. *)
+      while j.running > 0 || Atomic.get j.next < j.tasks do
         Condition.wait t.job_done t.mutex
       done;
       t.job <- None;
       (* Wake submitters queued behind this job. *)
       Condition.broadcast t.job_done;
       Mutex.unlock t.mutex;
-      match j.failed with Some e -> raise e | None -> ()
+      match j.failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
     end
 
 let shutdown t =

@@ -35,11 +35,25 @@ val jobs : t -> int
 
 val run : t -> tasks:int -> (int -> unit) -> unit
 (** [run t ~tasks f] executes [f 0 .. f (tasks - 1)], distributing
-    indices over the pool's domains, and returns once every task has
-    finished. If tasks raise, the first exception observed is re-raised
-    after the job drains. A call made from inside a pool task (see
-    {!in_task}) runs the tasks sequentially inline, so nested
-    data-parallelism never deadlocks and never over-subscribes.
+    indices over the pool's domains, and returns once the job has
+    drained. A call made from inside a pool task (see {!in_task}) runs
+    the tasks sequentially inline, so nested data-parallelism never
+    deadlocks and never over-subscribes.
+
+    {b Failure semantics (identical for every jobs count).} The first
+    exception a task raises {e cancels} the job: task indices not yet
+    claimed are never run (tallied in the [pool.tasks_cancelled]
+    counter), tasks already running on other domains complete, and once
+    the job drains the first exception is re-raised to the submitter
+    with its original backtrace. The inline path (jobs = 1, a single
+    task, or a nested call) aborts at the first exception the same way,
+    so failure behavior does not depend on [--jobs]. Results completed
+    into caller-owned slots before the failure are unaffected.
+
+    A deadline armed on the submitting domain ({!Deadline.with_timeout})
+    is inherited by every task of the job and checked at each claim, so
+    an expired budget surfaces as {!Deadline.Exceeded} through the same
+    cancellation path.
 
     @raise Invalid_argument after {!shutdown}. *)
 

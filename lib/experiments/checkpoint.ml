@@ -1,0 +1,105 @@
+(* Per-experiment result checkpoints for crash-safe, resumable run-alls.
+
+   One file per experiment: a single JSON header line (everything the
+   rendered bytes depend on — profile, seed, trials, output format,
+   adaptive/warm-start, the git stamp — plus the payload length and the
+   original elapsed time) followed by the experiment's rendered output,
+   verbatim. Files are written through Dut_obs.Manifest.write_atomic,
+   so a crash mid-write can never publish a truncated checkpoint; the
+   header's byte count guards against out-of-band corruption anyway.
+
+   The key deliberately excludes [jobs]: the engine's determinism
+   contract makes outputs jobs-invariant, so a checkpoint taken at
+   --jobs 8 replays under --jobs 1 byte for byte. *)
+
+let schema = "dut-checkpoint/1"
+
+let default_dir = Filename.concat "results" "checkpoints"
+
+type key = {
+  profile : string;
+  seed : int;
+  trials : int;
+  csv : bool;
+  timings : bool;
+  adaptive : bool;
+  warm_start : bool;
+  git : string;
+}
+
+let key_of_config ~csv ~timings (cfg : Config.t) =
+  {
+    profile = Config.profile_to_string cfg.profile;
+    seed = cfg.seed;
+    trials = cfg.trials;
+    csv;
+    timings;
+    adaptive = cfg.adaptive;
+    warm_start = cfg.warm_start;
+    git = Dut_obs.Manifest.git_describe ();
+  }
+
+let path ~dir id = Filename.concat dir (id ^ ".out")
+
+let header ~key ~id ~seconds ~bytes =
+  Dut_obs.Json.Obj
+    [
+      ("schema", Dut_obs.Json.Str schema);
+      ("id", Dut_obs.Json.Str id);
+      ("profile", Dut_obs.Json.Str key.profile);
+      ("seed", Dut_obs.Json.int key.seed);
+      ("trials", Dut_obs.Json.int key.trials);
+      ("csv", Dut_obs.Json.Bool key.csv);
+      ("timings", Dut_obs.Json.Bool key.timings);
+      ("adaptive", Dut_obs.Json.Bool key.adaptive);
+      ("warm_start", Dut_obs.Json.Bool key.warm_start);
+      ("git", Dut_obs.Json.Str key.git);
+      ("seconds", Dut_obs.Json.Num seconds);
+      ("bytes", Dut_obs.Json.int bytes);
+    ]
+
+let save ~dir ~key ~id ~seconds output =
+  let content =
+    Dut_obs.Json.to_string
+      (header ~key ~id ~seconds ~bytes:(String.length output))
+    ^ "\n" ^ output
+  in
+  try Dut_obs.Manifest.write_atomic ~path:(path ~dir id) content
+  with Sys_error msg ->
+    Printf.eprintf "dut: cannot write checkpoint for %s: %s\n%!" id msg
+
+(* [None] on any mismatch or malformation: a checkpoint that cannot be
+   proven fresh is treated as absent and the experiment re-runs. *)
+let load ~dir ~key id =
+  let file = path ~dir id in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let header_line = input_line ic in
+        let rest_len = in_channel_length ic - pos_in ic in
+        (header_line, really_input_string ic rest_len))
+  with
+  | exception (Sys_error _ | End_of_file) -> None
+  | header_line, payload -> (
+      match Dut_obs.Json.parse header_line with
+      | exception Dut_obs.Json.Malformed _ -> None
+      | j -> (
+          let open Dut_obs.Json in
+          match
+            want_str j "schema" = schema
+            && want_str j "id" = id
+            && want_str j "profile" = key.profile
+            && int_of_float (want_num j "seed") = key.seed
+            && int_of_float (want_num j "trials") = key.trials
+            && want_bool j "csv" = key.csv
+            && want_bool j "timings" = key.timings
+            && want_bool j "adaptive" = key.adaptive
+            && want_bool j "warm_start" = key.warm_start
+            && want_str j "git" = key.git
+            && int_of_float (want_num j "bytes") = String.length payload
+          with
+          | exception Malformed _ -> None
+          | false -> None
+          | true -> Some (payload, want_num j "seconds")))

@@ -1,0 +1,39 @@
+(** Per-experiment result checkpoints: the persistence layer behind
+    [dut run-all --resume].
+
+    After each experiment completes, [run-all] saves its rendered
+    output (atomically — see {!Dut_obs.Manifest.write_atomic}) under
+    [results/checkpoints/<id>.out], keyed by everything the bytes
+    depend on: profile, seed, trials, output format ([csv]/[timings]),
+    [adaptive]/[warm_start], and the [git describe] stamp of the code.
+    A later [--resume] run replays every checkpoint whose key matches
+    byte-identically and re-runs only missing, failed (failed
+    experiments are never checkpointed) or stale ones.
+
+    [jobs] is deliberately {e not} part of the key: outputs are
+    jobs-invariant by the engine's determinism contract, so checkpoints
+    replay across any [--jobs] value. *)
+
+val default_dir : string
+(** ["results/checkpoints"]. *)
+
+type key
+(** Everything a checkpoint's bytes depend on, derived from the run
+    configuration plus the current [git describe]. *)
+
+val key_of_config : csv:bool -> timings:bool -> Config.t -> key
+(** Build the key for this run (stamps [git describe] once). *)
+
+val path : dir:string -> string -> string
+(** [path ~dir id] is [dir/<id>.out]. *)
+
+val save : dir:string -> key:key -> id:string -> seconds:float -> string -> unit
+(** Atomically persist an experiment's rendered output and elapsed
+    seconds. A failure to write degrades to a stderr warning — the run
+    itself never fails on checkpointing. *)
+
+val load : dir:string -> key:key -> string -> (string * float) option
+(** [load ~dir ~key id] is [Some (output, seconds)] when a checkpoint
+    exists, parses, and matches [key] (including its recorded byte
+    count — a truncated or corrupt file never replays); [None]
+    otherwise. *)

@@ -7,18 +7,20 @@ type t = {
   level : float;
   calibration_trials : int;
   jobs : int;
+  jobs_requested : int;
   adaptive : bool;
   warm_start : bool;
 }
 
 let make ?(seed = 2019) ?trials ?jobs ?(adaptive = true) ?(warm_start = true)
     profile =
-  let jobs =
+  let jobs_requested =
     match jobs with
     | Some j when j < 1 -> invalid_arg "Config.make: jobs must be positive"
-    | Some j -> Dut_engine.Pool.effective_jobs j
-    | None -> Dut_engine.Pool.effective_jobs (Dut_engine.Parallel.env_jobs ())
+    | Some j -> j
+    | None -> Dut_engine.Parallel.env_jobs ()
   in
+  let jobs = Dut_engine.Pool.effective_jobs jobs_requested in
   let base =
     match profile with
     | Fast ->
@@ -29,6 +31,7 @@ let make ?(seed = 2019) ?trials ?jobs ?(adaptive = true) ?(warm_start = true)
           level = 0.72;
           calibration_trials = 200;
           jobs;
+          jobs_requested;
           adaptive;
           warm_start;
         }
@@ -40,6 +43,7 @@ let make ?(seed = 2019) ?trials ?jobs ?(adaptive = true) ?(warm_start = true)
           level = 0.72;
           calibration_trials = 400;
           jobs;
+          jobs_requested;
           adaptive;
           warm_start;
         }

@@ -14,7 +14,13 @@ type t = {
   trials : int;  (** Monte-Carlo rounds per probability estimate *)
   level : float;  (** success level demanded of both error sides *)
   calibration_trials : int;  (** uniform rounds for referee calibration *)
-  jobs : int;  (** domains used by the execution engine *)
+  jobs : int;
+      (** domains used by the execution engine — the {e effective}
+          value, after the {!Dut_engine.Pool.effective_jobs} clamp *)
+  jobs_requested : int;
+      (** the pre-clamp request ([--jobs]/[DUT_JOBS]); differs from
+          [jobs] only when the host clamped it. Recorded in the run
+          manifest so telemetry never overstates parallelism. *)
   adaptive : bool;
       (** stop Monte-Carlo probes early once the Wilson interval is
           decisive (see {!Dut_stats.Montecarlo.estimate_prob_adaptive}) *)

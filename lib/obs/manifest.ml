@@ -9,8 +9,24 @@ let git_describe () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let make ~command ~profile ~seed ~jobs ~adaptive ~warm_start ~wall_seconds
-    ~cpu_seconds ~experiments =
+type experiment = {
+  id : string;
+  seconds : float;
+  status : string;
+  resumed : bool;
+  error : string option;
+}
+
+let run_status experiments =
+  (* Interruption dominates (the run was cut short, whatever else
+     happened inside it), then failure, then ok. *)
+  if List.exists (fun e -> e.status = "interrupted") experiments then
+    "interrupted"
+  else if List.exists (fun e -> e.status = "failed") experiments then "failed"
+  else "ok"
+
+let make ~command ~profile ~seed ~jobs ~jobs_requested ~adaptive ~warm_start
+    ~wall_seconds ~cpu_seconds ~experiments =
   let counters =
     List.map
       (fun (name, v) ->
@@ -20,27 +36,42 @@ let make ~command ~profile ~seed ~jobs ~adaptive ~warm_start ~wall_seconds
           | Metrics.Value f -> Json.Num f ))
       (Metrics.snapshot ())
   in
+  let experiment e =
+    Json.Obj
+      ([
+         ("id", Json.Str e.id);
+         ("seconds", Json.Num e.seconds);
+         ("status", Json.Str e.status);
+         ("resumed", Json.Bool e.resumed);
+       ]
+      @ match e.error with None -> [] | Some m -> [ ("error", Json.Str m) ])
+  in
   Json.Obj
-    [
-      ("schema", Json.Str "dut-manifest/1");
-      ("command", Json.Str command);
-      ("profile", Json.Str profile);
-      ("seed", Json.int seed);
-      ("jobs", Json.int jobs);
-      ("adaptive", Json.Bool adaptive);
-      ("warm_start", Json.Bool warm_start);
-      ("git", Json.Str (git_describe ()));
-      ("created_unix", Json.Num (Unix.time ()));
-      ("wall_seconds", Json.Num wall_seconds);
-      ("cpu_seconds", Json.Num cpu_seconds);
-      ( "experiments",
-        Json.Arr
-          (List.map
-             (fun (id, seconds) ->
-               Json.Obj [ ("id", Json.Str id); ("seconds", Json.Num seconds) ])
-             experiments) );
-      ("counters", Json.Obj counters);
-    ]
+    ([
+       ("schema", Json.Str "dut-manifest/2");
+       ("command", Json.Str command);
+       ("status", Json.Str (run_status experiments));
+       ("profile", Json.Str profile);
+       ("seed", Json.int seed);
+       ("jobs", Json.int jobs);
+     ]
+    (* [jobs] is the parallelism the run actually had (post
+       Pool.effective_jobs clamp); the pre-clamp request rides along
+       only when the clamp changed it, so a manifest never silently
+       claims parallelism the host could not deliver. *)
+    @ (if jobs_requested <> jobs then
+         [ ("jobs_requested", Json.int jobs_requested) ]
+       else [])
+    @ [
+        ("adaptive", Json.Bool adaptive);
+        ("warm_start", Json.Bool warm_start);
+        ("git", Json.Str (git_describe ()));
+        ("created_unix", Json.Num (Unix.time ()));
+        ("wall_seconds", Json.Num wall_seconds);
+        ("cpu_seconds", Json.Num cpu_seconds);
+        ("experiments", Json.Arr (List.map experiment experiments));
+        ("counters", Json.Obj counters);
+      ])
 
 (* Two-space-indented rendering: the manifest is meant to be opened by
    humans as often as by `dut obs-report`. *)
@@ -81,13 +112,29 @@ let mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
+(* All-or-nothing file replacement: render next to the target and
+   [Sys.rename] over it (atomic within one directory on POSIX), so a
+   crash mid-write can truncate only the temp file, never the published
+   one. Shared by the manifest and the checkpoint store. *)
+let write_atomic ~path content =
+  mkdir_p (Filename.dirname path);
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
 let write ?(path = default_path) manifest =
   try
-    mkdir_p (Filename.dirname path);
-    let oc = open_out path in
     let b = Buffer.create 4096 in
     pretty b 0 manifest;
     Buffer.add_char b '\n';
-    Buffer.output_buffer oc b;
-    close_out oc
+    write_atomic ~path (Buffer.contents b)
   with Sys_error msg -> Printf.eprintf "dut: cannot write manifest: %s\n%!" msg

@@ -1,17 +1,29 @@
 (** Run manifests: one JSON file per run recording what was run, at
-    what cost, under which code.
+    what cost, under which code — and whether each experiment actually
+    finished.
 
-    Schema ([dut-manifest/1]): [command], [profile], [seed], [jobs],
+    Schema ([dut-manifest/2]): [command], [status] (the run as a whole:
+    ["ok"] | ["failed"] | ["interrupted"], interruption dominating
+    failure), [profile], [seed], [jobs] (the {e effective} parallelism
+    after the {!Dut_engine.Pool.effective_jobs} clamp) plus
+    [jobs_requested] (present only when the clamp changed the request),
     [adaptive], [warm_start], [git] (describe output or ["unknown"]),
     [created_unix], [wall_seconds], [cpu_seconds] (summed
-    per-experiment time — exceeds wall time under [--jobs]),
-    [experiments] (array of [{id, seconds}] in registry order) and
-    [counters] (the final {!Metrics.snapshot}; counter totals for the
-    jobs-invariant metrics are bit-equal across [--jobs] values, see
-    [doc/observability.md]).
+    per-experiment time over the work {e executed this run} — exceeds
+    wall time under [--jobs]), [experiments] (array of
+    [{id, seconds, status, resumed, error?}] in registry order; [error]
+    only on failed entries) and [counters] (the final
+    {!Metrics.snapshot}; counter totals for the jobs-invariant metrics
+    are bit-equal across [--jobs] values, see [doc/observability.md]).
+
+    A run cut short by SIGINT/SIGTERM still writes a {e valid} partial
+    manifest: completed experiments carry [status "ok"], never-started
+    ones [status "interrupted"], and the top-level [status] says
+    ["interrupted"].
 
     The manifest is out-of-band telemetry: it is written next to the
-    run ([results/manifest.json] by default), never to stdout, and a
+    run ([results/manifest.json] by default) via {!write_atomic} — a
+    crash can never leave a truncated file — never to stdout, and a
     failure to write it degrades to a one-line stderr warning rather
     than failing the run. *)
 
@@ -22,21 +34,41 @@ val git_describe : unit -> string
 (** [git describe --always --dirty], or ["unknown"] when git or the
     repository is unavailable. *)
 
+type experiment = {
+  id : string;
+  seconds : float;  (** elapsed (monotonic clock); the checkpointed
+                        value for resumed entries *)
+  status : string;  (** ["ok"] | ["failed"] | ["interrupted"] *)
+  resumed : bool;  (** replayed from a checkpoint, not executed *)
+  error : string option;  (** exception text for failed entries *)
+}
+
 val make :
   command:string ->
   profile:string ->
   seed:int ->
   jobs:int ->
+  jobs_requested:int ->
   adaptive:bool ->
   warm_start:bool ->
   wall_seconds:float ->
   cpu_seconds:float ->
-  experiments:(string * float) list ->
+  experiments:experiment list ->
   Json.t
-(** Assemble the manifest object, stamping [git], [created_unix] and
-    the current counter snapshot. *)
+(** Assemble the manifest object, stamping [git], [created_unix], the
+    derived run [status] and the current counter snapshot. [jobs] is
+    the effective parallelism; [jobs_requested] the pre-clamp request
+    (emitted only when the two differ). *)
+
+val write_atomic : path:string -> string -> unit
+(** Write [content] to a temp file in [path]'s directory (created if
+    needed) and [Sys.rename] it over [path]: readers observe either the
+    old bytes or the new, never a truncated mix. Used for the manifest
+    and the checkpoint files.
+
+    @raise Sys_error when the directory or file cannot be written. *)
 
 val write : ?path:string -> Json.t -> unit
-(** Pretty-print the manifest to [path] (default {!default_path}),
-    creating the parent directory if needed. On failure prints a
-    warning to stderr and returns. *)
+(** Pretty-print the manifest atomically to [path] (default
+    {!default_path}), creating the parent directory if needed. On
+    failure prints a warning to stderr and returns. *)

@@ -273,7 +273,7 @@ let () =
               | Some exp ->
                   let path = Filename.temp_file "dut_runner" ".txt" in
                   let oc = open_out path in
-                  let elapsed =
+                  let outcome =
                     Runner.run_to_channel (Config.make Config.Fast) exp oc
                   in
                   close_out oc;
@@ -282,7 +282,10 @@ let () =
                   close_in ic;
                   Sys.remove path;
                   Alcotest.(check bool) "nonempty output" true (len > 100);
-                  Alcotest.(check bool) "elapsed non-negative" true (elapsed >= 0.));
+                  Alcotest.(check bool) "ran clean" false (Runner.failed outcome);
+                  Alcotest.(check bool)
+                    "elapsed non-negative" true
+                    (outcome.Runner.seconds >= 0.));
         ] );
       ( "verifier",
         [

@@ -187,24 +187,38 @@ let test_span_disabled_is_passthrough () =
 
 let test_manifest_schema () =
   with_temp ".json" @@ fun path ->
+  let exp ?error ?(resumed = false) id seconds status =
+    { Manifest.id; seconds; status; resumed; error }
+  in
   let m =
     Manifest.make ~command:"run-all" ~profile:"fast" ~seed:7 ~jobs:4
-      ~adaptive:true ~warm_start:false ~wall_seconds:1.5 ~cpu_seconds:4.25
-      ~experiments:[ ("T1-any-rule", 0.5); ("T5-centralized", 1.0) ]
+      ~jobs_requested:16 ~adaptive:true ~warm_start:false ~wall_seconds:1.5
+      ~cpu_seconds:4.25
+      ~experiments:
+        [
+          exp "T1-any-rule" 0.5 "ok" ~resumed:true;
+          exp "T5-centralized" 1.0 "failed" ~error:"boom";
+        ]
   in
   Manifest.write ~path m;
   let j = Json.parse (read_file path) in
-  Alcotest.(check string) "schema" "dut-manifest/1" (Json.want_str j "schema");
+  Alcotest.(check string) "schema" "dut-manifest/2" (Json.want_str j "schema");
   Alcotest.(check string) "command" "run-all" (Json.want_str j "command");
+  Alcotest.(check string) "status" "failed" (Json.want_str j "status");
   Alcotest.(check int) "seed" 7 (int_of_float (Json.want_num j "seed"));
   Alcotest.(check int) "jobs" 4 (int_of_float (Json.want_num j "jobs"));
+  Alcotest.(check int) "jobs_requested" 16
+    (int_of_float (Json.want_num j "jobs_requested"));
   Alcotest.(check bool) "adaptive" true (Json.want_bool j "adaptive");
   Alcotest.(check bool) "warm_start" false (Json.want_bool j "warm_start");
   Alcotest.(check (float 1e-9)) "cpu" 4.25 (Json.want_num j "cpu_seconds");
   (match Json.field j "experiments" with
   | Json.Arr [ e1; e2 ] ->
       Alcotest.(check string) "exp order" "T1-any-rule" (Json.want_str e1 "id");
-      Alcotest.(check (float 1e-9)) "exp seconds" 1.0 (Json.want_num e2 "seconds")
+      Alcotest.(check string) "exp status" "ok" (Json.want_str e1 "status");
+      Alcotest.(check bool) "exp resumed" true (Json.want_bool e1 "resumed");
+      Alcotest.(check (float 1e-9)) "exp seconds" 1.0 (Json.want_num e2 "seconds");
+      Alcotest.(check string) "exp error" "boom" (Json.want_str e2 "error")
   | _ -> Alcotest.fail "experiments is not a 2-array");
   (* The counter snapshot rides along; mc.trials_used is registered by
      the stats library this test links (and exercised above). *)

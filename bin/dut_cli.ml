@@ -341,6 +341,158 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ profile_arg $ seed_arg)
 
+(* -- serve / query: the resident query layer ---------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Dut_service.Server.default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the server listens on / the client dials.")
+
+let serve_cmd =
+  let doc =
+    "Run the resident query server: a long-lived process answering \
+     $(b,dut query) requests (theory bounds, tester power estimates, \
+     critical-q searches) over a Unix-domain socket. Concurrent requests \
+     are coalesced into batches on the execution engine; ok answers are \
+     memoized (per code version) so repeated queries replay \
+     byte-identically without recomputation. SIGINT/SIGTERM drains \
+     in-flight work, writes the session summary and exits 0."
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Dut_service.Memo.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Directory of the persistent memo cache.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable memoization entirely (every query recomputes).")
+  in
+  let mem_entries_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "mem-entries" ] ~docv:"N"
+          ~doc:"Capacity of the in-memory LRU cache front.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request cooperative deadline: a query exceeding $(docv) \
+             is cancelled at the next engine check point and answered \
+             with an error response; sibling requests are unaffected.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Backpressure cap: requests beyond $(docv) in one batch cycle \
+             are answered immediately with an error instead of queueing.")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt string Dut_service.Server.default_summary_path
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Session summary (schema dut-service/1), rewritten atomically \
+             after every batch; readable live with $(b,dut obs-report \
+             --manifest).")
+  in
+  let run socket jobs cache_dir no_cache mem_entries deadline_s max_pending
+      summary trace metrics =
+    let jobs =
+      Dut_engine.Pool.effective_jobs
+        (match jobs with
+        | Some j when j >= 1 -> j
+        | Some _ -> invalid_arg "serve: jobs must be positive"
+        | None -> Dut_engine.Parallel.env_jobs ())
+    in
+    let cache =
+      if no_cache then None
+      else
+        Some
+          (Dut_service.Memo.create ~capacity:mem_entries ~dir:(Some cache_dir)
+             ())
+    in
+    Dut_obs.Span.set_sink trace;
+    Fun.protect
+      ~finally:(fun () -> Dut_obs.Span.set_sink None)
+      (fun () ->
+        Dut_service.Server.serve
+          {
+            Dut_service.Server.socket;
+            jobs;
+            cache;
+            deadline_s;
+            max_pending;
+            summary_path = summary;
+          });
+    if metrics then Dut_obs.Metrics.dump stderr;
+    exit 0
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+      $ mem_entries_arg $ deadline_arg $ max_pending_arg $ summary_arg
+      $ trace_arg $ metrics_arg)
+
+let query_cmd =
+  let doc =
+    "Send queries to a running $(b,dut serve) and print one response \
+     line per query, in request order. Queries are JSON objects (see \
+     doc/service.md): a single query as the positional argument, a JSONL \
+     batch via $(b,--batch), or JSONL on stdin. Exits 0 when every \
+     response is ok, 1 when any response is an error, 2 when the server \
+     is unreachable."
+  in
+  let query_pos_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"One query as a JSON object literal.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:"Read queries from $(docv), one JSON object per line.")
+  in
+  let read_lines ic =
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  let run socket query batch =
+    let lines =
+      match (query, batch) with
+      | Some q, None -> [ q ]
+      | None, Some file ->
+          let ic = open_in file in
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+              read_lines ic)
+      | None, None -> read_lines stdin
+      | Some _, Some _ ->
+          Printf.eprintf "dut query: pass either QUERY or --batch, not both\n";
+          exit Cmd.Exit.cli_error
+    in
+    exit (Dut_service.Client.run ~socket ~out:stdout lines)
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ socket_arg $ query_pos_arg $ batch_arg)
+
 (* -- obs-report: pretty-print a manifest and/or trace ------------------- *)
 
 let read_file path =
@@ -353,6 +505,67 @@ let obs_fail path msg =
   Printf.eprintf "%s: %s\n" path msg;
   exit 1
 
+(* Shared by run and service manifests: render the counter snapshot and
+   flag the latent-failure tallies a green run can still accumulate. *)
+let report_counters m =
+  let open Dut_obs in
+  match Json.field m "counters" with
+  | Json.Obj kvs ->
+      print_newline ();
+      print_endline "counters";
+      let width =
+        List.fold_left (fun w (k, _) -> max w (String.length k)) 0 kvs
+      in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Num f -> Printf.printf "  %-*s %.0f\n" width k f
+          | _ -> raise (Json.Malformed ("counter " ^ k ^ ": expected number")))
+        kvs;
+      let tally name =
+        match List.assoc_opt name kvs with
+        | Some (Json.Num f) when f > 0. -> Some f
+        | _ -> None
+      in
+      Option.iter
+        (fun f ->
+          Printf.printf
+            "  WARNING: %.0f checkpoint write(s) failed — completed \
+             experiments were not persisted, so --resume will re-run them\n"
+            f)
+        (tally "checkpoint.write_failures");
+      Option.iter
+        (fun f ->
+          Printf.printf
+            "  WARNING: %.0f cache write(s) failed — served answers were \
+             not persisted and will recompute after restart\n"
+            f)
+        (tally "cache.write_failures")
+  | _ -> raise (Dut_obs.Json.Malformed "counters: expected object")
+
+(* dut-service/1: the session summary `dut serve` rewrites after every
+   batch, so this renders live state while the server is running. *)
+let report_service path m =
+  let open Dut_obs in
+  Printf.printf "service %s (%s, git %s)\n" path (Json.want_str m "schema")
+    (Json.want_str m "git");
+  Printf.printf "  status      %s\n" (Json.want_str m "status");
+  Printf.printf "  socket      %s\n" (Json.want_str m "socket");
+  Printf.printf "  jobs        %.0f   uptime %.1fs\n" (Json.want_num m "jobs")
+    (Json.want_num m "uptime_seconds");
+  let n name = Json.want_num m name in
+  Printf.printf "  requests    %.0f in %.0f batches (%.0f errors, %.0f \
+                 rejected)\n"
+    (n "requests") (n "batches") (n "errors") (n "rejected");
+  let hits = n "cache_hits" and misses = n "cache_misses" in
+  let rate =
+    if hits +. misses > 0. then
+      Printf.sprintf " (%.0f%% hit rate)" (100. *. hits /. (hits +. misses))
+    else ""
+  in
+  Printf.printf "  cache       %.0f hits, %.0f misses%s\n" hits misses rate;
+  report_counters m
+
 let report_manifest path =
   if not (Sys.file_exists path) then
     obs_fail path "no manifest (run `dut run-all` first, or pass --manifest)";
@@ -360,6 +573,9 @@ let report_manifest path =
   match Json.parse (read_file path) with
   | exception Json.Malformed msg -> obs_fail path msg
   | exception Sys_error msg -> obs_fail path msg
+  | m when (try Json.want_str m "schema" = "dut-service/1" with _ -> false)
+    -> (
+      try report_service path m with Json.Malformed msg -> obs_fail path msg)
   | m -> (
       try
         let yn b = if b then "yes" else "no" in
@@ -443,20 +659,7 @@ let report_manifest path =
             if List.length slowest > 10 then
               Printf.printf "  ... %d more\n" (List.length slowest - 10)
         | _ -> raise (Json.Malformed "experiments: expected array"));
-        (match Json.field m "counters" with
-        | Json.Obj kvs ->
-            print_newline ();
-            print_endline "counters";
-            let width =
-              List.fold_left (fun w (k, _) -> max w (String.length k)) 0 kvs
-            in
-            List.iter
-              (fun (k, v) ->
-                match v with
-                | Json.Num f -> Printf.printf "  %-*s %.0f\n" width k f
-                | _ -> raise (Json.Malformed ("counter " ^ k ^ ": expected number")))
-              kvs
-        | _ -> raise (Json.Malformed "counters: expected object"))
+        report_counters m
       with Json.Malformed msg -> obs_fail path msg)
 
 let report_trace path =
@@ -543,7 +746,16 @@ let main =
      Local?' (PODC 2019)"
   in
   Cmd.group (Cmd.info "dut" ~doc)
-    [ list_cmd; run_cmd; run_all_cmd; bounds_cmd; verify_cmd; obs_report_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      run_all_cmd;
+      bounds_cmd;
+      verify_cmd;
+      serve_cmd;
+      query_cmd;
+      obs_report_cmd;
+    ]
 
 let () =
   (* Backtraces feed the # ERROR blocks failure isolation renders; the

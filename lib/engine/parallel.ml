@@ -1,10 +1,22 @@
+(* A malformed or non-positive DUT_JOBS falls back to 1, but never
+   silently: a user who exported DUT_JOBS=0 or DUT_JOBS=four meant to
+   set parallelism, and a quiet fallback reads as "parallelism is
+   broken". One warning per process, matching the oversubscription
+   clamp note in Pool.effective_jobs. *)
+let env_warned = Atomic.make false
+
 let env_jobs () =
   match Sys.getenv_opt "DUT_JOBS" with
   | None -> 1
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some j when j >= 1 -> j
-      | Some _ | None -> 1)
+      | Some _ | None ->
+          if not (Atomic.exchange env_warned true) then
+            Printf.eprintf
+              "dut: ignoring DUT_JOBS=%s (expected an integer >= 1); using 1\n%!"
+              (Filename.quote s);
+          1)
 
 let default = Atomic.make (env_jobs ())
 

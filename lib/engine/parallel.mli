@@ -24,8 +24,11 @@
     safe and never over-subscribes the machine. *)
 
 val env_jobs : unit -> int
-(** Parse [DUT_JOBS] (a positive integer) from the environment; 1 when
-    unset or malformed. *)
+(** Parse [DUT_JOBS] from the environment. Accepted values are integers
+    [>= 1] (values above the host's recommended domain count are later
+    clamped by {!Pool.effective_jobs}); unset means 1. A malformed or
+    non-positive value also falls back to 1, with a one-shot stderr
+    warning naming the rejected value. *)
 
 val default_jobs : unit -> int
 (** The ambient jobs count used when [?jobs] is omitted; initially

@@ -58,6 +58,13 @@ let header ~key ~id ~seconds ~bytes =
       ("bytes", Dut_obs.Json.int bytes);
     ]
 
+(* A checkpoint that cannot be written (read-only results/, full disk)
+   must not fail the run — the rendered output is already correct — but
+   it silently costs resumability: `--resume` will re-run the
+   experiment. The counter makes that visible in the run manifest and
+   `dut obs-report`, which warns when it is non-zero. *)
+let m_write_failures = Dut_obs.Metrics.counter "checkpoint.write_failures"
+
 let save ~dir ~key ~id ~seconds output =
   let content =
     Dut_obs.Json.to_string
@@ -66,6 +73,7 @@ let save ~dir ~key ~id ~seconds output =
   in
   try Dut_obs.Manifest.write_atomic ~path:(path ~dir id) content
   with Sys_error msg ->
+    Dut_obs.Metrics.incr m_write_failures;
     Printf.eprintf "dut: cannot write checkpoint for %s: %s\n%!" id msg
 
 (* [None] on any mismatch or malformation: a checkpoint that cannot be

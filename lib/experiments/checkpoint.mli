@@ -29,8 +29,11 @@ val path : dir:string -> string -> string
 
 val save : dir:string -> key:key -> id:string -> seconds:float -> string -> unit
 (** Atomically persist an experiment's rendered output and elapsed
-    seconds. A failure to write degrades to a stderr warning — the run
-    itself never fails on checkpointing. *)
+    seconds. A failure to write degrades to a stderr warning plus one
+    [checkpoint.write_failures] counter tally — the run itself never
+    fails on checkpointing, but the lost resumability is recorded in
+    the run manifest (its counter snapshot) and flagged by
+    [dut obs-report]. *)
 
 val load : dir:string -> key:key -> string -> (string * float) option
 (** [load ~dir ~key id] is [Some (output, seconds)] when a checkpoint

@@ -25,10 +25,10 @@ let trim_float x =
 let cell_to_string = function
   | Int i -> string_of_int i
   | Float f ->
-      if Float.is_nan f then "nan"
-      else if f = infinity then "inf"
-      else if f = neg_infinity then "-inf"
-      else trim_float f
+      (* Non-finite values are rendered as "n/a", the spelling the bench
+         JSON standardised on — one vocabulary across tables, CSV and
+         machine-readable outputs (JSON itself has no NaN/inf). *)
+      if Float.is_nan f || Float.abs f = infinity then "n/a" else trim_float f
   | Str s -> s
   | Bool b -> if b then "yes" else "no"
 

@@ -18,7 +18,9 @@ val make : title:string -> columns:string list -> ?notes:string list -> cell lis
 (** @raise Invalid_argument if any row's width differs from the header's. *)
 
 val cell_to_string : cell -> string
-(** Floats are rendered with up to 4 significant decimals, trimmed. *)
+(** Floats are rendered with up to 4 significant decimals, trimmed;
+    non-finite floats (NaN, ±inf) render as ["n/a"] in both the aligned
+    and the CSV output, matching the bench JSON's spelling. *)
 
 val render : t -> string
 (** Column-aligned plain text, ready for the terminal. *)

@@ -1,0 +1,119 @@
+module J = Dut_obs.Json
+
+(* Re-key an input line with the client-assigned id. The line is parsed
+   (not spliced textually) so a malformed query is caught here and
+   answered locally — the server never sees it, and the output still
+   carries one response per input line. *)
+let prepare i line =
+  match J.parse line with
+  | exception J.Malformed msg ->
+      Error (Query.error_payload ("bad query: " ^ msg))
+  | J.Obj kvs ->
+      let kvs = List.remove_assoc "id" kvs in
+      Ok (J.to_string (J.Obj (("id", J.int i) :: kvs)))
+  | _ -> Error (Query.error_payload "bad query: expected a JSON object")
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let run ~socket ~out lines =
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let n = List.length lines in
+  let prepared = List.mapi prepare lines in
+  let responses = Array.make n None in
+  (* Local errors occupy their slot up front; only the rest go out. *)
+  let to_send =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           match p with
+           | Ok line -> [ line ]
+           | Error payload ->
+               responses.(i) <- Some (Query.response_line ~id:i payload);
+               [])
+         prepared)
+  in
+  let outstanding = ref (List.length to_send) in
+  let connect_and_exchange () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        write_all fd (String.concat "" (List.map (fun l -> l ^ "\n") to_send));
+        let buf = Bytes.create 65536 in
+        let acc = Buffer.create 4096 in
+        let record line =
+          if String.trim line <> "" then begin
+            (match J.parse line with
+            | exception J.Malformed _ -> ()
+            | j -> (
+                match J.field_opt j "id" with
+                | Some (J.Num f)
+                  when Float.is_integer f
+                       && int_of_float f >= 0
+                       && int_of_float f < n ->
+                    let id = int_of_float f in
+                    if responses.(id) = None then begin
+                      responses.(id) <- Some line;
+                      decr outstanding
+                    end
+                | _ -> ()));
+            ()
+          end
+        in
+        while !outstanding > 0 do
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> failwith "server closed the connection before responding"
+          | len ->
+              Buffer.add_subbytes acc buf 0 len;
+              let data = Buffer.contents acc in
+              (match String.rindex_opt data '\n' with
+              | None -> ()
+              | Some last ->
+                  Buffer.clear acc;
+                  Buffer.add_string acc
+                    (String.sub data (last + 1) (String.length data - last - 1));
+                  List.iter record
+                    (String.split_on_char '\n' (String.sub data 0 last)))
+        done)
+  in
+  match (if !outstanding > 0 then connect_and_exchange ()) with
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "dut query: %s: %s\n%!" socket (Unix.error_message err);
+      2
+  | exception Failure msg ->
+      Printf.eprintf "dut query: %s\n%!" msg;
+      2
+  | () ->
+      let all_ok = ref true in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some line ->
+              output_string out (line ^ "\n");
+              let ok =
+                match J.parse line with
+                | exception J.Malformed _ -> false
+                | j -> (
+                    match J.field_opt j "status" with
+                    | Some (J.Str "ok") -> true
+                    | _ -> false)
+              in
+              if not ok then all_ok := false
+          | None ->
+              (* Unreachable: the read loop only returns once every
+                 outstanding id is filled. *)
+              output_string out
+                (Query.response_line ~id:i
+                   (Query.error_payload "no response received")
+                ^ "\n");
+              all_ok := false)
+        responses;
+      flush out;
+      if !all_ok then 0 else 1

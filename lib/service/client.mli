@@ -1,0 +1,18 @@
+(** The [dut query] side of the wire: send a batch of query lines to a
+    running server and print the responses in request order.
+
+    The client owns request ids: input line [i] (blank lines skipped)
+    becomes the request with [id = i], and the output is exactly one
+    response line per input line, ordered by id — so replaying the same
+    batch file always produces the same bytes, which is what the CI
+    smoke diffs. Lines that fail to parse client-side are answered
+    locally with an [error] response (never sent), mirroring the
+    server's isolation semantics. *)
+
+val run : socket:string -> out:out_channel -> string list -> int
+(** [run ~socket ~out lines] sends every non-blank line, waits for all
+    responses, prints them to [out] in id order, and returns the exit
+    code: [0] when every response has [status "ok"], [1] when any
+    response is an error, [2] when the server cannot be reached or
+    closes the connection early (after printing a diagnostic to
+    stderr). *)

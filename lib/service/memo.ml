@@ -1,0 +1,134 @@
+let schema = "dut-memo/1"
+
+let default_dir = Filename.concat "results" "memo"
+
+let m_hits = Dut_obs.Metrics.counter "cache.hits"
+
+let m_misses = Dut_obs.Metrics.counter "cache.misses"
+
+let m_stores = Dut_obs.Metrics.counter "cache.stores"
+
+let m_evictions = Dut_obs.Metrics.counter "cache.evictions"
+
+let m_write_failures = Dut_obs.Metrics.counter "cache.write_failures"
+
+type entry = { payload : string; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  dir : string option;
+  table : (string, entry) Hashtbl.t;  (* key text -> entry *)
+  mutable clock : int;  (* bumped per touch; orders LRU eviction *)
+}
+
+let create ?(capacity = 512) ?(dir = None) () =
+  if capacity < 1 then invalid_arg "Memo.create: capacity < 1";
+  { capacity; dir; table = Hashtbl.create 64; clock = 0 }
+
+let entries t = Hashtbl.length t.table
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.last_use <- t.clock
+
+(* Eviction scans for the least-recently-used key: O(entries), but only
+   on overflow of a front that is small by construction — correctness
+   never depends on what gets evicted (the disk tier still holds it). *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_use -> acc
+        | _ -> Some (key, e.last_use))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      Dut_obs.Metrics.incr m_evictions
+  | None -> ()
+
+let put_front t ~key payload =
+  if not (Hashtbl.mem t.table key) then begin
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let e = { payload; last_use = 0 } in
+    touch t e;
+    Hashtbl.add t.table key e
+  end
+
+(* -- Disk tier ---------------------------------------------------------- *)
+
+let path_of_key ~dir key =
+  Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".json")
+
+let header ~key ~bytes =
+  Dut_obs.Json.Obj
+    [
+      ("schema", Dut_obs.Json.Str schema);
+      ("key", Dut_obs.Json.Str key);
+      ("bytes", Dut_obs.Json.int bytes);
+    ]
+
+(* [None] on any malformation or key mismatch: an entry that cannot be
+   proven to answer exactly this key is treated as absent — the hash
+   collision / corruption path costs a recomputation, never a wrong
+   byte. *)
+let disk_find ~dir key =
+  let file = path_of_key ~dir key in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let header_line = input_line ic in
+        let rest_len = in_channel_length ic - pos_in ic in
+        (header_line, really_input_string ic rest_len))
+  with
+  | exception (Sys_error _ | End_of_file) -> None
+  | header_line, payload -> (
+      match Dut_obs.Json.parse header_line with
+      | exception Dut_obs.Json.Malformed _ -> None
+      | j -> (
+          let open Dut_obs.Json in
+          match
+            want_str j "schema" = schema
+            && want_str j "key" = key
+            && int_of_float (want_num j "bytes") = String.length payload
+          with
+          | exception Malformed _ -> None
+          | false -> None
+          | true -> Some payload))
+
+let disk_store ~dir ~key payload =
+  let content =
+    Dut_obs.Json.to_string (header ~key ~bytes:(String.length payload))
+    ^ "\n" ^ payload
+  in
+  try Dut_obs.Manifest.write_atomic ~path:(path_of_key ~dir key) content
+  with Sys_error msg ->
+    Dut_obs.Metrics.incr m_write_failures;
+    Printf.eprintf "dut: cannot persist memo entry: %s\n%!" msg
+
+(* -- Public API --------------------------------------------------------- *)
+
+let find t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      touch t e;
+      Dut_obs.Metrics.incr m_hits;
+      Some e.payload
+  | None -> (
+      match Option.bind t.dir (fun dir -> disk_find ~dir key) with
+      | Some payload ->
+          put_front t ~key payload;
+          Dut_obs.Metrics.incr m_hits;
+          Some payload
+      | None ->
+          Dut_obs.Metrics.incr m_misses;
+          None)
+
+let store t ~key payload =
+  Dut_obs.Metrics.incr m_stores;
+  put_front t ~key payload;
+  match t.dir with Some dir -> disk_store ~dir ~key payload | None -> ()

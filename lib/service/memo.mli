@@ -1,0 +1,50 @@
+(** Persistent, content-addressed result cache for the query server.
+
+    Generalises the checkpoint store's key discipline: the key {e text}
+    is the query's canonical JSON plus the provenance stamp (git
+    describe), so everything the answer depends on — parameters, seed,
+    trials, adaptive/warm-start, code version — is in the key, and a
+    hit can be replayed byte for byte. Keys are hashed (MD5, hex) into
+    file names; the key text is stored alongside the payload and
+    verified on load, so a hash collision degrades to a miss, never to
+    a wrong answer.
+
+    Two tiers:
+    - an in-memory LRU front (bounded; [cache.evictions] counts
+      overflow), and
+    - an optional on-disk store (one file per key under [dir], written
+      via {!Dut_obs.Manifest.write_atomic} — a crash can never publish
+      a truncated entry; a malformed or mismatched file reads as a
+      miss).
+
+    Lookups tally [cache.hits] / [cache.misses]; stores tally
+    [cache.stores]. The cache is {e not} thread-safe: the server calls
+    it only from the submitting domain (lookups before a batch is
+    dispatched, stores after it joins). *)
+
+type t
+
+val schema : string
+(** ["dut-memo/1"], the header schema of on-disk entries. *)
+
+val default_dir : string
+(** ["results/memo"]. *)
+
+val create : ?capacity:int -> ?dir:string option -> unit -> t
+(** [create ()] is a memory-only cache holding up to [capacity]
+    (default 512) payloads. [~dir:(Some d)] adds the persistent tier
+    under [d] (created on first store). *)
+
+val find : t -> key:string -> string option
+(** The payload stored under [key], from the LRU front if present, else
+    from disk (re-promoting into the front). Tallies one [cache.hits]
+    or [cache.misses]. *)
+
+val store : t -> key:string -> string -> unit
+(** Publish [payload] under [key] in both tiers. A disk-tier write
+    failure (read-only or full disk) degrades to a one-line stderr
+    warning and a [cache.write_failures] tally: the server keeps
+    answering, merely without persistence. *)
+
+val entries : t -> int
+(** Number of payloads in the in-memory front (tests). *)

@@ -1,0 +1,293 @@
+module J = Dut_obs.Json
+
+type config = {
+  socket : string;
+  jobs : int;
+  cache : Memo.t option;
+  deadline_s : float option;
+  max_pending : int;
+  summary_path : string;
+}
+
+let default_socket = Filename.concat "results" "dut.sock"
+
+let default_summary_path = Filename.concat "results" "service_manifest.json"
+
+let m_requests = Dut_obs.Metrics.counter "service.requests"
+
+let m_batches = Dut_obs.Metrics.counter "service.batches"
+
+let m_errors = Dut_obs.Metrics.counter "service.errors"
+
+let m_rejected = Dut_obs.Metrics.counter "service.rejected"
+
+let kind_of (r : Query.request) =
+  match r.query with
+  | Error _ -> "invalid"
+  | Ok (Query.Bound _) -> "bound"
+  | Ok (Query.Power _) -> "power"
+  | Ok (Query.Critical _) -> "critical"
+
+(* -- Batch evaluation --------------------------------------------------- *)
+
+(* One batch: memo lookups happen before dispatch and stores after the
+   pool joins — both on the submitting domain, so the cache needs no
+   locking — while the evaluations in between run as one engine job.
+   The work function catches everything (including the cooperative
+   deadline) and returns an error payload: a task that raised would
+   fast-fail the whole pool job, which is exactly the blast radius the
+   per-request isolation contract rules out. *)
+let handle_batch ?cache ?deadline_s ?(stamp = "") ~jobs
+    (requests : Query.request array) =
+  let n = Array.length requests in
+  Dut_obs.Metrics.add m_requests n;
+  Dut_obs.Metrics.incr m_batches;
+  let keys =
+    Array.map
+      (fun (r : Query.request) ->
+        match r.query with
+        | Ok q -> Some (Query.canonical q ^ "\n" ^ stamp)
+        | Error _ -> None)
+      requests
+  in
+  let cached =
+    Array.map
+      (fun key ->
+        match (cache, key) with
+        | Some c, Some key -> Memo.find c ~key
+        | _ -> None)
+      keys
+  in
+  let evaluate (r : Query.request) =
+    match r.query with
+    | Error msg ->
+        Dut_obs.Metrics.incr m_errors;
+        Query.error_payload ("bad query: " ^ msg)
+    | Ok q -> (
+        match
+          Dut_engine.Deadline.with_timeout ?seconds:deadline_s (fun () ->
+              Query.ok_payload (Query.eval q))
+        with
+        | payload -> payload
+        | exception e ->
+            Dut_obs.Metrics.incr m_errors;
+            let msg =
+              match e with
+              | Dut_engine.Deadline.Exceeded ->
+                  "deadline exceeded (per-request --deadline-s budget)"
+              | Failure msg | Invalid_argument msg -> msg
+              | e -> Printexc.to_string e
+            in
+            Query.error_payload msg)
+  in
+  let work i =
+    let r = requests.(i) in
+    Dut_obs.Span.with_ ~name:"service.request"
+      ~attrs:
+        [
+          ("id", J.int r.Query.id);
+          ("kind", J.Str (kind_of r));
+          ("cached", J.Bool (cached.(i) <> None));
+        ]
+      (fun () ->
+        match cached.(i) with Some payload -> payload | None -> evaluate r)
+  in
+  let payloads =
+    Dut_obs.Span.with_ ~name:"service.batch"
+      ~attrs:[ ("requests", J.int n); ("jobs", J.int jobs) ]
+      (fun () -> Dut_engine.Parallel.map ~jobs work (Array.init n Fun.id))
+  in
+  (* Only fresh ok answers are published to the cache: error responses
+     (bad query, deadline, raise) must be recomputed next time — a
+     transient failure memoized forever would violate the "cached =
+     byte-identical to fresh" contract. *)
+  let ok_prefix = "{\"status\":\"ok\"" in
+  Array.iteri
+    (fun i payload ->
+      match (cache, keys.(i), cached.(i)) with
+      | Some c, Some key, None
+        when String.length payload >= String.length ok_prefix
+             && String.sub payload 0 (String.length ok_prefix) = ok_prefix ->
+          Memo.store c ~key payload
+      | _ -> ())
+    payloads;
+  Array.mapi
+    (fun i payload -> Query.response_line ~id:requests.(i).Query.id payload)
+    payloads
+
+(* -- Session summary ---------------------------------------------------- *)
+
+let summary ~config ~status ~git ~created_unix ~started_ns =
+  let count name = J.int (Dut_obs.Metrics.value name) in
+  let counters =
+    List.map
+      (fun (name, v) ->
+        ( name,
+          match v with
+          | Dut_obs.Metrics.Count c -> J.int c
+          | Dut_obs.Metrics.Value f -> J.Num f ))
+      (Dut_obs.Metrics.snapshot ())
+  in
+  J.Obj
+    [
+      ("schema", J.Str "dut-service/1");
+      ("command", J.Str "serve");
+      ("status", J.Str status);
+      ("socket", J.Str config.socket);
+      ("jobs", J.int config.jobs);
+      ("git", J.Str git);
+      ("created_unix", J.Num created_unix);
+      ( "uptime_seconds",
+        J.Num (float_of_int (Dut_obs.Span.now_ns () - started_ns) /. 1e9) );
+      ("requests", count "service.requests");
+      ("batches", count "service.batches");
+      ("cache_hits", count "cache.hits");
+      ("cache_misses", count "cache.misses");
+      ("errors", count "service.errors");
+      ("rejected", count "service.rejected");
+      ("counters", J.Obj counters);
+    ]
+
+let write_summary ~config ~status ~git ~created_unix ~started_ns =
+  let content =
+    J.to_string (summary ~config ~status ~git ~created_unix ~started_ns) ^ "\n"
+  in
+  try Dut_obs.Manifest.write_atomic ~path:config.summary_path content
+  with Sys_error msg ->
+    Printf.eprintf "dut: cannot write service summary: %s\n%!" msg
+
+(* -- Socket loop -------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  pending_input : Buffer.t;  (* bytes read but not yet newline-terminated *)
+  mutable alive : bool;
+}
+
+let read_chunk_size = 65536
+
+(* Append freshly read bytes and peel off every complete line. *)
+let take_lines conn (bytes : Bytes.t) len =
+  Buffer.add_subbytes conn.pending_input bytes 0 len;
+  let data = Buffer.contents conn.pending_input in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear conn.pending_input;
+      Buffer.add_string conn.pending_input
+        (String.sub data (last + 1) (String.length data - last - 1));
+      String.split_on_char '\n' (String.sub data 0 last)
+      |> List.filter (fun l -> String.trim l <> "")
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let send conn line =
+  if conn.alive then
+    try write_all conn.fd (line ^ "\n")
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      conn.alive <- false
+
+let close_conn conn =
+  conn.alive <- false;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let serve config =
+  (* A client that disconnects mid-response must cost the server one
+     dropped connection, not a fatal SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  Dut_engine.Parallel.set_default_jobs config.jobs;
+  (match Unix.stat config.socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink config.socket
+  | _ -> failwith (config.socket ^ ": exists and is not a socket")
+  | exception Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX config.socket);
+  Unix.listen listener 64;
+  let git = Dut_obs.Manifest.git_describe () in
+  let created_unix = Unix.time () in
+  let started_ns = Dut_obs.Span.now_ns () in
+  let publish status =
+    write_summary ~config ~status ~git ~created_unix ~started_ns
+  in
+  publish "serving";
+  Printf.eprintf "dut: serving on %s (jobs=%d%s)\n%!" config.socket config.jobs
+    (match config.cache with None -> ", cache off" | Some _ -> "");
+  let conns = ref [] in
+  let module Runner = Dut_experiments.Runner in
+  Runner.with_sigint_guard (fun () ->
+      while not (Runner.interrupted ()) do
+        let fds = listener :: List.map (fun c -> c.fd) !conns in
+        match Unix.select fds [] [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, _, _ ->
+            if List.mem listener readable then begin
+              match Unix.accept listener with
+              | fd, _ ->
+                  conns :=
+                    !conns
+                    @ [ { fd; pending_input = Buffer.create 256; alive = true } ]
+              | exception Unix.Unix_error _ -> ()
+            end;
+            let buf = Bytes.create read_chunk_size in
+            (* Arrival order over all ready clients defines the batch
+               order; each response carries its request id, so clients
+               are insensitive to interleaving across connections. *)
+            let pending = ref [] in
+            let n_pending = ref 0 in
+            List.iter
+              (fun conn ->
+                if conn.alive && List.mem conn.fd readable then
+                  match Unix.read conn.fd buf 0 read_chunk_size with
+                  | 0 -> close_conn conn
+                  | len ->
+                      List.iter
+                        (fun line ->
+                          let request = Query.request_of_line line in
+                          if !n_pending >= config.max_pending then begin
+                            Dut_obs.Metrics.incr m_rejected;
+                            send conn
+                              (Query.response_line ~id:request.Query.id
+                                 (Query.error_payload
+                                    (Printf.sprintf
+                                       "server overloaded (%d requests \
+                                        pending); retry"
+                                       !n_pending)))
+                          end
+                          else begin
+                            incr n_pending;
+                            pending := (conn, request) :: !pending
+                          end)
+                        (take_lines conn buf len)
+                  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                      close_conn conn)
+              !conns;
+            (match List.rev !pending with
+            | [] -> ()
+            | batch ->
+                let requests = Array.of_list (List.map snd batch) in
+                let responses =
+                  handle_batch ?cache:config.cache
+                    ?deadline_s:config.deadline_s ~stamp:git ~jobs:config.jobs
+                    requests
+                in
+                (* Publish the refreshed summary before the responses go
+                   out: once a client has its answer, `dut obs-report`
+                   already accounts for it. *)
+                publish "serving";
+                List.iteri
+                  (fun i (conn, _) -> send conn responses.(i))
+                  batch);
+            conns := List.filter (fun c -> c.alive) !conns
+      done);
+  List.iter close_conn !conns;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket with Unix.Unix_error _ -> ());
+  publish "closed";
+  Printf.eprintf "dut: service drained — summary at %s\n%!" config.summary_path

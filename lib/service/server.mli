@@ -1,0 +1,72 @@
+(** The resident query server behind [dut serve].
+
+    A long-running loop over a Unix-domain socket speaking the JSONL
+    codec of {!Query}. Concurrent requests — across clients and within
+    one client's burst — are coalesced into batches and dispatched onto
+    the shared {!Dut_engine} pool, so the whole batch evaluates with
+    [jobs]-way parallelism while every response stays byte-identical to
+    a sequential evaluation (each query derives all randomness from its
+    own seed).
+
+    Semantics, mirroring the batch runner's crash-safety layer:
+    - {e failure isolation}: a request that fails to parse, names an
+      unknown bound, or raises during evaluation gets an [error]
+      response; every sibling request in the batch completes untouched.
+      A request can never take down the server or the batch.
+    - {e deadlines}: [deadline_s] arms a cooperative
+      {!Dut_engine.Deadline} per request; an over-budget evaluation is
+      cancelled at the next engine check point and answered with an
+      [error] response.
+    - {e backpressure}: at most [max_pending] requests are queued per
+      batch cycle; overflow requests are answered immediately with an
+      [error] response (tallied as [service.rejected]) instead of
+      growing the queue without bound.
+    - {e memoization}: with a {!Memo} cache attached, [ok] responses are
+      stored under the query's canonical form + git stamp and replayed
+      byte-identically on the next ask ([cache.hits]/[cache.misses]).
+    - {e graceful shutdown}: the loop runs under
+      {!Dut_experiments.Runner.with_sigint_guard} — the first
+      SIGINT/SIGTERM finishes the in-flight batch, flushes responses,
+      writes the final session summary and returns normally (the CLI
+      exits 0); a second signal force-exits.
+
+    The session summary ([summary_path], schema [dut-service/1]) is
+    rewritten atomically after every batch, so a live server can be
+    inspected with [dut obs-report --manifest] at any time. Spans
+    ([service.batch], [service.request]) go to the {!Dut_obs.Span} sink
+    when one is open; counters ([service.requests], [service.batches],
+    [service.errors], [service.rejected], [cache.*]) always tally. *)
+
+type config = {
+  socket : string;  (** path of the Unix-domain socket to bind *)
+  jobs : int;  (** engine parallelism for batch evaluation *)
+  cache : Memo.t option;
+  deadline_s : float option;  (** per-request cooperative budget *)
+  max_pending : int;  (** backpressure cap per batch cycle *)
+  summary_path : string;  (** where the session summary is published *)
+}
+
+val default_socket : string
+(** ["results/dut.sock"]. *)
+
+val default_summary_path : string
+(** ["results/service_manifest.json"]. *)
+
+val handle_batch :
+  ?cache:Memo.t ->
+  ?deadline_s:float ->
+  ?stamp:string ->
+  jobs:int ->
+  Query.request array ->
+  string array
+(** Evaluate one batch: response lines in request order, one per
+    request, never raising. [stamp] is the provenance suffix of the
+    memo key (the server passes its git describe). Exposed for tests;
+    {!serve} is this in a socket loop. *)
+
+val serve : config -> unit
+(** Bind the socket (replacing a stale file), loop until the first
+    SIGINT/SIGTERM, then drain and return. Prints one
+    ["serving on <socket>"] line to stderr when ready.
+
+    @raise Unix.Unix_error if the socket cannot be bound. *)

@@ -186,6 +186,37 @@ let test_run_all_byte_identical_across_jobs () =
   Alcotest.(check bool) "output is nonempty" true (String.length j1 > 2000);
   Alcotest.(check string) "jobs=1 == jobs=4" j1 j4
 
+(* -- DUT_JOBS parsing ---------------------------------------------------- *)
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value old ~default:""))
+    f
+
+let test_env_jobs_parsing () =
+  (* Valid values (after trimming) pass through; malformed or
+     non-positive ones fall back to 1 — with a one-shot stderr warning,
+     never an exception (the variable is read before the CLI can report
+     errors nicely). *)
+  List.iter
+    (fun (v, expect) ->
+      with_env "DUT_JOBS" v (fun () ->
+          Alcotest.(check int)
+            (Printf.sprintf "DUT_JOBS=%S" v)
+            expect (Parallel.env_jobs ())))
+    [
+      ("4", 4);
+      (" 8 ", 8);
+      ("1", 1);
+      ("0", 1);
+      ("-3", 1);
+      ("two", 1);
+      ("3.5", 1);
+      ("", 1);
+    ]
+
 (* -- Chunking ----------------------------------------------------------- *)
 
 let test_chunks_errors () =
@@ -240,6 +271,7 @@ let () =
           Alcotest.test_case "count jobs-invariant" `Quick
             test_count_jobs_invariant;
           Alcotest.test_case "chunks errors" `Quick test_chunks_errors;
+          Alcotest.test_case "DUT_JOBS parsing" `Quick test_env_jobs_parsing;
         ] );
       ( "montecarlo",
         [

@@ -54,8 +54,19 @@ let test_table_column_floats () =
 let test_cell_to_string () =
   Alcotest.(check string) "int" "7" (Table.cell_to_string (Table.Int 7));
   Alcotest.(check string) "bool" "no" (Table.cell_to_string (Table.Bool false));
-  Alcotest.(check string) "nan" "nan" (Table.cell_to_string (Table.Float Float.nan));
-  Alcotest.(check string) "integral float" "4" (Table.cell_to_string (Table.Float 4.))
+  (* Non-finite floats share the bench JSON's "n/a" spelling, in CSV and
+     aligned output alike. *)
+  Alcotest.(check string) "nan" "n/a" (Table.cell_to_string (Table.Float Float.nan));
+  Alcotest.(check string) "inf" "n/a" (Table.cell_to_string (Table.Float infinity));
+  Alcotest.(check string) "-inf" "n/a"
+    (Table.cell_to_string (Table.Float neg_infinity));
+  Alcotest.(check string) "integral float" "4" (Table.cell_to_string (Table.Float 4.));
+  let csv =
+    Table.to_csv
+      (Table.make ~title:"nonfinite" ~columns:[ "x" ] [ [ Table.Float Float.nan ] ])
+  in
+  Alcotest.(check bool) "csv renders n/a" true
+    (Astring.String.is_infix ~affix:"n/a" csv)
 
 (* -- Config ----------------------------------------------------------- *)
 

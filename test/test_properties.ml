@@ -116,6 +116,41 @@ let prop_bounds_thm61_dominated_by_thm11 =
         -. Dut_core.Bounds.thm11_lower ~n ~k ~eps)
       < 1e-9)
 
+let prop_search_seeded_matches_cold =
+  (* The warm-started critical search is an optimisation, never a
+     different answer. Every monotone predicate on [lo, hi] is a step
+     function, so a random threshold generates them all; the ranges are
+     chosen so the cases that broke earlier drafts occur constantly:
+     guesses far outside [lo, hi] (clamped), lo = 0 brackets, and
+     thresholds past hi (the predicate is false everywhere and both
+     searches must return None). *)
+  QCheck.Test.make ~name:"search_seeded = search on monotone predicates"
+    ~count:1000
+    QCheck.(
+      quad (int_range 0 50) (int_range 0 2000) (int_range (-4096) 8192)
+        (int_range 0 2500))
+    (fun (lo, span, guess, offset) ->
+      let hi = lo + span in
+      let first_true = lo + offset in
+      let ok v = v >= first_true in
+      Dut_stats.Critical.search_seeded ~lo ~hi ~guess ok
+      = Dut_stats.Critical.search ~lo ~hi ok)
+
+let prop_search_seeded_edge_cases =
+  (* The named edges, pinned deterministically (the random property
+     above also reaches them, but only with some probability). *)
+  QCheck.Test.make ~name:"search_seeded pinned edges" ~count:1 QCheck.unit
+    (fun () ->
+      let open Dut_stats.Critical in
+      let all_false _ = false in
+      search ~lo:0 ~hi:100 all_false = None
+      && search_seeded ~lo:0 ~hi:100 ~guess:7 all_false = None
+      && search_seeded ~lo:0 ~hi:100 ~guess:(1 lsl 20) all_false = None
+      && search_seeded ~lo:0 ~hi:100 ~guess:(-5) (fun v -> v >= 0) = Some 0
+      && search_seeded ~lo:1 ~hi:64 ~guess:(1 lsl 20) (fun v -> v >= 10)
+         = Some 10
+      && search_seeded ~lo:3 ~hi:9 ~guess:(-7) (fun v -> v >= 5) = Some 5)
+
 let prop_graph_handshake =
   (* Sum of degrees = 2 x edges on random connected graphs. *)
   QCheck.Test.make ~name:"handshake lemma" ~count:100
@@ -161,6 +196,9 @@ let () =
             prop_identity_reduction_granule_count;
             prop_bounds_thm61_dominated_by_thm11;
           ] );
+      ( "critical search",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_search_seeded_matches_cold; prop_search_seeded_edge_cases ] );
       ( "graphs",
         List.map QCheck_alcotest.to_alcotest
           [ prop_graph_handshake; prop_span_tree_depth_consistent ] );

@@ -1,0 +1,326 @@
+(* Tests for Dut_service: the wire codec's roundtrip and canonical-form
+   guarantees, the two-tier memo cache (including its corruption and
+   eviction paths), and handle_batch's contracts — failure isolation,
+   cold/warm byte-identity through the cache, and jobs-invariance. *)
+
+open Dut_service
+module J = Dut_obs.Json
+
+let sample_queries =
+  [
+    Query.Bound
+      { name = "centralized"; params = [ ("eps", 0.25); ("n", 4096.) ] };
+    Query.Bound
+      {
+        name = "thm11_lower";
+        params = [ ("eps", 0.3); ("k", 64.); ("n", 1024.) ];
+      };
+    Query.Power
+      {
+        tester = Query.And;
+        ell = 5;
+        eps = 0.25;
+        k = 16;
+        q = 4;
+        trials = 40;
+        level = 0.72;
+        seed = 7;
+        adaptive = true;
+      };
+    Query.Critical
+      {
+        tester = Query.Threshold 2;
+        ell = 5;
+        eps = 0.25;
+        k = 16;
+        trials = 40;
+        level = 0.72;
+        seed = 7;
+        adaptive = false;
+        hi = Some 4096;
+        guess = Some 32;
+      };
+  ]
+
+(* -- Codec --------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  List.iteri
+    (fun i q ->
+      let line = Query.request_to_line ~id:i q in
+      let r = Query.request_of_line line in
+      Alcotest.(check int) "id survives" i r.Query.id;
+      match r.Query.query with
+      | Ok q' ->
+          Alcotest.(check string)
+            "canonical form survives the roundtrip" (Query.canonical q)
+            (Query.canonical q')
+      | Error msg -> Alcotest.failf "roundtrip rejected %s: %s" line msg)
+    sample_queries
+
+let test_codec_defaults_spelled_out () =
+  (* A minimal wire query and the fully spelled-out one canonicalise
+     identically: trials/level/seed/adaptive defaults are part of the
+     canonical form, so they are part of the memo key. *)
+  let minimal =
+    Query.request_of_line
+      {|{"kind":"power","tester":"and","ell":5,"eps":0.25,"k":16,"q":4}|}
+  in
+  let explicit =
+    Query.Power
+      {
+        tester = Query.And;
+        ell = 5;
+        eps = 0.25;
+        k = 16;
+        q = 4;
+        trials = 120;
+        level = 0.72;
+        seed = 2019;
+        adaptive = true;
+      }
+  in
+  match minimal.Query.query with
+  | Error msg -> Alcotest.failf "minimal query rejected: %s" msg
+  | Ok q ->
+      Alcotest.(check string)
+        "defaults fill in to the explicit canonical form"
+        (Query.canonical explicit) (Query.canonical q)
+
+let test_codec_errors () =
+  List.iter
+    (fun line ->
+      match (Query.request_of_line line).Query.query with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed query %s" line)
+    [
+      "not json";
+      {|{"kind":"nope"}|};
+      {|{"kind":"power","tester":"xor","ell":5,"eps":0.25,"k":16,"q":4}|};
+      {|{"kind":"power","tester":"and","ell":5,"eps":1.5,"k":16,"q":4}|};
+      {|{"kind":"power","tester":"and","ell":5,"eps":0.25,"k":16}|};
+      {|{"kind":"power","tester":"and","ell":0,"eps":0.25,"k":16,"q":4}|};
+      {|{"kind":"bound","name":"centralized"}|};
+      {|{"kind":"critical","tester":"threshold","ell":5,"eps":0.25,"k":16}|};
+    ]
+
+let test_response_line_splice () =
+  Alcotest.(check string)
+    "id spliced verbatim" {|{"id":3,"status":"ok","value":5}|}
+    (Query.response_line ~id:3 (Query.ok_payload (J.int 5)))
+
+(* -- Evaluation ---------------------------------------------------------- *)
+
+let test_bound_eval_matches_direct () =
+  let check name params expect =
+    match Query.eval (Query.Bound { name; params }) with
+    | J.Num v -> Alcotest.(check (float 0.)) name expect v
+    | _ -> Alcotest.failf "%s: expected a number" name
+  in
+  check "centralized"
+    [ ("eps", 0.25); ("n", 4096.) ]
+    (Dut_core.Bounds.centralized ~n:4096 ~eps:0.25);
+  check "thm11_lower"
+    [ ("eps", 0.3); ("k", 64.); ("n", 1024.) ]
+    (Dut_core.Bounds.thm11_lower ~n:1024 ~k:64 ~eps:0.3);
+  check "thm14_learning_nodes"
+    [ ("n", 4096.); ("q", 4.) ]
+    (Dut_core.Bounds.thm14_learning_nodes ~n:4096 ~q:4)
+
+let test_bound_eval_failures () =
+  List.iter
+    (fun q ->
+      match Query.eval q with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure")
+    [
+      Query.Bound { name = "no_such_bound"; params = [] };
+      Query.Bound { name = "centralized"; params = [ ("n", 4096.) ] };
+    ]
+
+(* -- Memo ---------------------------------------------------------------- *)
+
+let counter = Dut_obs.Metrics.value
+
+let test_memo_memory_tier () =
+  let m = Memo.create ~capacity:8 () in
+  let hits0 = counter "cache.hits" and misses0 = counter "cache.misses" in
+  Alcotest.(check (option string)) "empty cache misses" None (Memo.find m ~key:"a");
+  Memo.store m ~key:"a" "payload-a";
+  Alcotest.(check (option string))
+    "stored payload found" (Some "payload-a") (Memo.find m ~key:"a");
+  Alcotest.(check int) "one hit tallied" (hits0 + 1) (counter "cache.hits");
+  Alcotest.(check int) "one miss tallied" (misses0 + 1) (counter "cache.misses")
+
+let test_memo_lru_eviction () =
+  let m = Memo.create ~capacity:2 () in
+  Memo.store m ~key:"a" "pa";
+  Memo.store m ~key:"b" "pb";
+  ignore (Memo.find m ~key:"a");
+  (* "b" is now least recently used; the third store evicts it. *)
+  Memo.store m ~key:"c" "pc";
+  Alcotest.(check int) "capacity respected" 2 (Memo.entries m);
+  Alcotest.(check (option string)) "recently used survives" (Some "pa")
+    (Memo.find m ~key:"a");
+  Alcotest.(check (option string)) "LRU entry evicted" None (Memo.find m ~key:"b")
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dut_memo" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_memo_disk_persistence () =
+  with_temp_dir @@ fun dir ->
+  let m1 = Memo.create ~capacity:8 ~dir:(Some dir) () in
+  Memo.store m1 ~key:"query-key" "payload-bytes";
+  (* A fresh instance — empty memory front — must hydrate from disk. *)
+  let m2 = Memo.create ~capacity:8 ~dir:(Some dir) () in
+  Alcotest.(check int) "fresh front is empty" 0 (Memo.entries m2);
+  Alcotest.(check (option string))
+    "payload replayed from disk" (Some "payload-bytes")
+    (Memo.find m2 ~key:"query-key");
+  Alcotest.(check int) "disk hit re-promoted" 1 (Memo.entries m2)
+
+let test_memo_corruption_is_a_miss () =
+  with_temp_dir @@ fun dir ->
+  let m1 = Memo.create ~capacity:8 ~dir:(Some dir) () in
+  Memo.store m1 ~key:"k" "good-bytes";
+  (* Truncate every stored file: a fresh instance must read a miss,
+     never a wrong or partial answer. *)
+  Array.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let oc = open_out path in
+      output_string oc "{\"schema\":\"dut-memo/1\"";
+      close_out oc)
+    (Sys.readdir dir);
+  let m2 = Memo.create ~capacity:8 ~dir:(Some dir) () in
+  Alcotest.(check (option string))
+    "corrupt entry is a miss" None (Memo.find m2 ~key:"k")
+
+(* -- handle_batch -------------------------------------------------------- *)
+
+let batch_of_lines lines =
+  Array.of_list (List.map Query.request_of_line lines)
+
+let good_line id =
+  Printf.sprintf
+    {|{"id":%d,"kind":"bound","name":"centralized","params":{"n":4096,"eps":0.25}}|}
+    id
+
+let test_batch_failure_isolation () =
+  let responses =
+    Server.handle_batch ~jobs:2
+      (batch_of_lines
+         [
+           good_line 0;
+           {|{"id":1,"kind":"bound","name":"no_such_bound","params":{}}|};
+           "not json at all";
+           good_line 3;
+         ])
+  in
+  let has needle s = Astring.String.is_infix ~affix:needle s in
+  Alcotest.(check int) "one response per request" 4 (Array.length responses);
+  Alcotest.(check bool) "request 0 ok" true (has {|"status":"ok"|} responses.(0));
+  Alcotest.(check bool)
+    "unknown bound isolated" true
+    (has {|"status":"error"|} responses.(1) && has "no_such_bound" responses.(1));
+  Alcotest.(check bool)
+    "parse failure isolated (id -1)" true
+    (has {|"id":-1|} responses.(2) && has {|"status":"error"|} responses.(2));
+  Alcotest.(check bool) "sibling of failures ok" true
+    (has {|"status":"ok"|} responses.(3))
+
+let mixed_lines =
+  [
+    good_line 0;
+    {|{"id":1,"kind":"power","tester":"and","ell":5,"eps":0.25,"k":16,"q":4,"trials":30,"seed":7}|};
+    {|{"id":2,"kind":"critical","tester":"threshold","t":1,"ell":5,"eps":0.25,"k":16,"trials":30,"seed":7}|};
+    {|{"id":3,"kind":"bound","name":"no_such_bound","params":{}}|};
+  ]
+
+let test_batch_cold_warm_byte_identity () =
+  let cache = Memo.create ~capacity:64 () in
+  let run () =
+    Server.handle_batch ~cache ~stamp:"test-stamp" ~jobs:2
+      (batch_of_lines mixed_lines)
+  in
+  let hits0 = counter "cache.hits" in
+  let cold = run () in
+  Alcotest.(check int) "cold pass has no hits" hits0 (counter "cache.hits");
+  let warm = run () in
+  Alcotest.(check (array string)) "warm replay is byte-identical" cold warm;
+  (* The three ok answers replay from cache; the error recomputes. *)
+  Alcotest.(check int) "warm pass hits = ok responses" (hits0 + 3)
+    (counter "cache.hits");
+  let errors_cached =
+    Array.exists (fun r -> Astring.String.is_infix ~affix:"no_such_bound" r) warm
+  in
+  Alcotest.(check bool) "error response still present" true errors_cached
+
+let test_batch_jobs_invariant () =
+  let run jobs = Server.handle_batch ~jobs (batch_of_lines mixed_lines) in
+  Alcotest.(check (array string)) "jobs=1 == jobs=4" (run 1) (run 4)
+
+let test_batch_deadline_isolated () =
+  (* An adversarially tight (but valid) deadline trips at the first
+     engine check point inside the Monte-Carlo probes and must surface
+     as an error response, not an exception. *)
+  let deadline_s = 1e-6 in
+  let responses =
+    Server.handle_batch ~deadline_s ~jobs:2
+      (batch_of_lines
+         [
+           {|{"id":0,"kind":"critical","tester":"and","ell":8,"eps":0.25,"k":16,"trials":4000,"adaptive":false,"seed":7}|};
+         ])
+  in
+  Alcotest.(check bool)
+    "over-budget query answers with a deadline error" true
+    (Astring.String.is_infix ~affix:"deadline" responses.(0))
+
+let () =
+  Alcotest.run "dut_service"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "defaults in canonical form" `Quick
+            test_codec_defaults_spelled_out;
+          Alcotest.test_case "malformed queries rejected" `Quick
+            test_codec_errors;
+          Alcotest.test_case "response id splice" `Quick
+            test_response_line_splice;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "bounds match direct calls" `Quick
+            test_bound_eval_matches_direct;
+          Alcotest.test_case "bad bounds fail" `Quick test_bound_eval_failures;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "memory tier" `Quick test_memo_memory_tier;
+          Alcotest.test_case "LRU eviction" `Quick test_memo_lru_eviction;
+          Alcotest.test_case "disk persistence" `Quick
+            test_memo_disk_persistence;
+          Alcotest.test_case "corruption reads as miss" `Quick
+            test_memo_corruption_is_a_miss;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "failure isolation" `Quick
+            test_batch_failure_isolation;
+          Alcotest.test_case "cold/warm byte-identity" `Quick
+            test_batch_cold_warm_byte_identity;
+          Alcotest.test_case "jobs-invariance" `Quick test_batch_jobs_invariant;
+          Alcotest.test_case "deadline isolation" `Quick
+            test_batch_deadline_isolated;
+        ] );
+    ]

@@ -304,6 +304,118 @@ let bench_engine ~quick () =
   write_engine_json ~quick ~jobs:cfg_after.jobs ~all_before ~all_after rows;
   print_endline ("wrote " ^ engine_json_path)
 
+(* -- Stream ingest bench (`--stream`) ----------------------------------- *)
+
+module Sketch = Dut_stream.Sketch
+module Ingest = Dut_stream.Ingest
+
+let stream_json_path = Filename.concat "results" "bench_stream.json"
+
+(* The budget ladder the throughput is measured on: the exact
+   histogram, two hashed histograms, and two AMS widths — enough to see
+   how the per-sample cost moves with sketch size (AMS pays one hash
+   per counter per sample, so its cost is linear in the budget). *)
+let stream_bench_rows n =
+  [
+    (Sketch.Hist, Sketch.exact_budget ~n);
+    (Sketch.Hist, 72);
+    (Sketch.Hist, 24);
+    (Sketch.Ams, 40);
+    (Sketch.Ams, 16);
+  ]
+
+type stream_meas = {
+  s_kind : Sketch.kind;
+  s_budget : int;
+  s_words : int;
+  s_samples : int;
+  s_seconds : float;
+  s_chunks : int;
+}
+
+let bench_stream ~quick () =
+  let n = 256 in
+  let seed = 2019 in
+  let chunk = 4096 in
+  let jobs = Dut_engine.Pool.effective_jobs (Dut_engine.Parallel.env_jobs ()) in
+  let total = if quick then 1 lsl 18 else 1 lsl 22 in
+  let rng = Dut_prng.Rng.create seed in
+  let block = Array.init (1 lsl 14) (fun _ -> Dut_prng.Rng.int rng n) in
+  Printf.printf
+    "== stream: ingest throughput per sketch budget (n=%d, chunk=%d, %d \
+     samples%s, jobs=%d) ==\n\
+     %!"
+    n chunk total
+    (if quick then ", quick" else "")
+    jobs;
+  let rows =
+    List.map
+      (fun (kind, budget) ->
+        let cfg = Sketch.config ~kind ~n ~budget_words:budget ~seed in
+        let cum = ref (Sketch.create cfg) in
+        let ing =
+          Ingest.create ~jobs ~chunk
+            ~on_chunk:(fun sk -> cum := Sketch.merge !cum sk)
+            cfg
+        in
+        let t0 = Unix.gettimeofday () in
+        let fed = ref 0 in
+        while !fed < total do
+          Ingest.feed_array ing block;
+          fed := !fed + Array.length block
+        done;
+        Ingest.flush ing;
+        let seconds = Unix.gettimeofday () -. t0 in
+        let m =
+          {
+            s_kind = kind;
+            s_budget = budget;
+            s_words = Sketch.words_used !cum;
+            s_samples = Ingest.samples_fed ing;
+            s_seconds = seconds;
+            s_chunks = Ingest.chunks_emitted ing;
+          }
+        in
+        Printf.printf
+          "%-4s budget %4d   %9.2e samples/s   %.6f words/sample   (%d words \
+           used, %.2fs)\n\
+           %!"
+          (Sketch.kind_to_string kind)
+          budget
+          (float_of_int m.s_samples /. seconds)
+          (float_of_int m.s_words /. float_of_int m.s_samples)
+          m.s_words seconds;
+        m)
+      (stream_bench_rows n)
+  in
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let oc = open_out stream_json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"stream-ingest\",\n\
+    \  \"seed\": %d,\n\
+    \  \"quick\": %b,\n\
+    \  \"jobs\": %d,\n\
+    \  \"n\": %d,\n\
+    \  \"chunk\": %d,\n\
+    \  \"rows\": [\n"
+    seed quick jobs n chunk;
+  List.iteri
+    (fun i m ->
+      Printf.fprintf oc
+        "    { \"sketch\": %S, \"budget_words\": %d, \"words_used\": %d, \
+         \"samples\": %d, \"chunks\": %d, \"seconds\": %.4f, \
+         \"samples_per_sec\": %.1f, \"words_per_sample\": %.8f }%s\n"
+        (Sketch.kind_to_string m.s_kind)
+        m.s_budget m.s_words m.s_samples m.s_chunks m.s_seconds
+        (float_of_int m.s_samples /. m.s_seconds)
+        (float_of_int m.s_words /. float_of_int m.s_samples)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline ("wrote " ^ stream_json_path)
+
 (* -- Schema check for results/bench_engine.json (`--check`) ------------- *)
 
 (* The JSON reader lives in Dut_obs.Json now (the same one obs-report
@@ -381,6 +493,61 @@ let check_engine_json () =
         Printf.printf "%s: schema ok\n" engine_json_path
       with Malformed msg -> fail msg)
 
+(* Validated only when present: the stream bench is optional (run with
+   `--stream`), but a written file must conform — CI runs
+   `--stream --quick` first, so there it is always checked. *)
+let check_stream_json () =
+  if Sys.file_exists stream_json_path then begin
+    let fail msg =
+      Printf.eprintf "%s: %s\n" stream_json_path msg;
+      exit 1
+    in
+    let ic = open_in_bin stream_json_path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match parse contents with
+    | exception Malformed msg -> fail msg
+    | root -> (
+        try
+          if want_str root "benchmark" <> "stream-ingest" then
+            raise (Malformed "benchmark: expected \"stream-ingest\"");
+          ignore (want_num root "seed");
+          ignore (want_bool root "quick");
+          if want_num root "jobs" < 1. then raise (Malformed "jobs < 1");
+          if want_num root "n" < 1. then raise (Malformed "n < 1");
+          if want_num root "chunk" < 1. then raise (Malformed "chunk < 1");
+          (match field root "rows" with
+          | Arr [] -> raise (Malformed "rows: empty")
+          | Arr rows ->
+              List.iter
+                (fun r ->
+                  (match want_str r "sketch" with
+                  | "hist" | "ams" -> ()
+                  | s -> raise (Malformed ("unknown sketch " ^ s)));
+                  let budget = want_num r "budget_words" in
+                  let words = want_num r "words_used" in
+                  if budget < 1. then raise (Malformed "budget_words < 1");
+                  if words < 1. then raise (Malformed "words_used < 1");
+                  if words > budget then
+                    raise
+                      (Malformed
+                         "words_used exceeds budget_words: the memory bound \
+                          is broken");
+                  if want_num r "samples" < 1. then
+                    raise (Malformed "samples < 1");
+                  if want_num r "chunks" < 1. then
+                    raise (Malformed "chunks < 1");
+                  List.iter
+                    (fun f ->
+                      if want_num r f < 0. then
+                        raise (Malformed (f ^ ": negative")))
+                    [ "seconds"; "samples_per_sec"; "words_per_sample" ])
+                rows
+          | _ -> raise (Malformed "rows: expected array"));
+          Printf.printf "%s: schema ok\n" stream_json_path
+        with Malformed msg -> fail msg)
+  end
+
 let () =
   let has flag = Array.exists (( = ) flag) Sys.argv in
   let value_after flag =
@@ -390,7 +557,11 @@ let () =
       Sys.argv;
     !r
   in
-  if has "--check" then check_engine_json ()
+  if has "--check" then begin
+    check_engine_json ();
+    check_stream_json ()
+  end
+  else if has "--stream" then bench_stream ~quick:(has "--quick") ()
   else begin
     Dut_obs.Span.set_sink (value_after "--trace");
     let engine_only = has "--engine" in
@@ -399,6 +570,7 @@ let () =
       run_kernels ()
     end;
     bench_engine ~quick:(has "--quick") ();
+    bench_stream ~quick:(has "--quick") ();
     if has "--metrics" then Dut_obs.Metrics.dump stderr;
     Dut_obs.Span.set_sink None
   end

@@ -493,6 +493,188 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run $ socket_arg $ query_pos_arg $ batch_arg)
 
+(* -- stream: run the anytime referee over samples from stdin/file ------- *)
+
+let stream_cmd =
+  let doc =
+    "Ingest a sample stream (whitespace-separated integers from $(docv) or \
+     stdin) through a bounded-memory sketch and print anytime-valid \
+     checkpoint verdicts plus the final batch-rule verdict. Output is \
+     byte-identical for every $(b,--jobs) value: chunk boundaries, sketch \
+     contents and thresholds depend only on the stream, $(b,--chunk) and \
+     $(b,--seed)."
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Sample file (default: read stdin).")
+  in
+  let n_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Universe size: samples lie in 0..N-1.")
+  in
+  let eps_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "e"; "eps" ] ~docv:"EPS" ~doc:"Proximity parameter.")
+  in
+  let sketch_conv =
+    let parse s =
+      match Dut_stream.Sketch.kind_of_string s with
+      | Some k -> Ok k
+      | None -> Error (`Msg (Printf.sprintf "unknown sketch %S (hist|ams)" s))
+    in
+    let print fmt k =
+      Format.pp_print_string fmt (Dut_stream.Sketch.kind_to_string k)
+    in
+    Arg.conv (parse, print)
+  in
+  let sketch_arg =
+    Arg.(
+      value
+      & opt sketch_conv Dut_stream.Sketch.Hist
+      & info [ "sketch" ] ~docv:"KIND"
+          ~doc:
+            "Sketch kind: $(b,hist) (bounded histogram) or $(b,ams) \
+             (±1 second-moment sketch).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"WORDS"
+          ~doc:
+            "Per-sketch memory budget in words (default: the exact-histogram \
+             budget N + header).")
+  in
+  let chunk_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "chunk" ] ~docv:"SAMPLES"
+          ~doc:
+            "Samples per chunk — the checkpoint granularity and the unit of \
+             deterministic parallel ingestion.")
+  in
+  let window_conv =
+    let parse s =
+      if s = "growing" then Ok Dut_stream.Anytime.Growing
+      else
+        match int_of_string_opt s with
+        | Some w when w >= 1 -> Ok (Dut_stream.Anytime.Sliding w)
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "bad window %S (growing, or a positive chunk count)" s))
+    in
+    let print fmt w =
+      Format.pp_print_string fmt (Dut_stream.Anytime.window_to_string w)
+    in
+    Arg.conv (parse, print)
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt window_conv Dut_stream.Anytime.Growing
+      & info [ "window" ] ~docv:"WINDOW"
+          ~doc:
+            "Checkpoint window: $(b,growing) (judge the whole prefix) or an \
+             integer $(i,w) (judge the last $(i,w) chunks).")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "alpha" ] ~docv:"ALPHA"
+          ~doc:"Total anytime false-rejection budget (eps-spending).")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "every" ] ~docv:"CHUNKS" ~doc:"Chunks between checkpoints.")
+  in
+  let run file n eps kind budget chunk window alpha every seed jobs metrics =
+    let budget =
+      match budget with
+      | Some b -> b
+      | None -> Dut_stream.Sketch.exact_budget ~n
+    in
+    let cfg =
+      Dut_stream.Sketch.config ~kind ~n ~budget_words:budget ~seed
+    in
+    let referee = Dut_stream.Anytime.create ~window ~alpha ~every ~eps cfg in
+    let fl = Printf.sprintf "%.6g" in
+    Printf.printf
+      "# dut stream: n=%d eps=%s sketch=%s budget=%d buckets=%d exact=%s \
+       chunk=%d window=%s alpha=%s every=%d seed=%d\n"
+      n (fl eps)
+      (Dut_stream.Sketch.kind_to_string kind)
+      budget
+      (Dut_stream.Sketch.buckets cfg)
+      (if Dut_stream.Sketch.is_exact cfg then "yes" else "no")
+      chunk
+      (Dut_stream.Anytime.window_to_string window)
+      (fl alpha) every seed;
+    let on_chunk sk =
+      match Dut_stream.Anytime.observe referee sk with
+      | None -> ()
+      | Some v ->
+          Printf.printf
+            "checkpoint %d samples=%d window=%d stat=%s threshold=%s \
+             alpha_spent=%s verdict=%s\n"
+            v.Dut_stream.Anytime.index v.samples_seen v.window_samples
+            (fl v.stat) (fl v.threshold) (fl v.alpha_spent)
+            (if v.reject then "reject" else "accept")
+    in
+    let ingest = Dut_stream.Ingest.create ?jobs ~chunk ~on_chunk cfg in
+    let feed_channel ic =
+      let sc = Scanf.Scanning.from_channel ic in
+      try
+        while true do
+          let x = Scanf.bscanf sc " %d" Fun.id in
+          Dut_stream.Ingest.feed ingest x
+        done
+      with
+      | Scanf.Scan_failure msg ->
+          Printf.eprintf "dut stream: bad sample: %s\n" msg;
+          exit 1
+      | End_of_file -> ()
+    in
+    (match file with
+    | None -> feed_channel stdin
+    | Some path ->
+        let ic =
+          try open_in path
+          with Sys_error msg ->
+            Printf.eprintf "dut stream: %s\n" msg;
+            exit Cmd.Exit.cli_error
+        in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+            feed_channel ic));
+    Dut_stream.Ingest.flush ingest;
+    Printf.printf "# ingested %d samples in %d chunks\n"
+      (Dut_stream.Ingest.samples_fed ingest)
+      (Dut_stream.Ingest.chunks_emitted ingest);
+    (match Dut_stream.Anytime.rejected referee with
+    | Some v ->
+        Printf.printf "# anytime stop: rejected at checkpoint %d (%d samples)\n"
+          v.Dut_stream.Anytime.index v.samples_seen
+    | None -> ());
+    let v = Dut_stream.Anytime.final referee in
+    Printf.printf "final samples=%d stat=%s cutoff=%s verdict=%s\n"
+      v.Dut_stream.Anytime.samples_seen (fl v.stat) (fl v.threshold)
+      (if v.reject then "reject" else "accept");
+    if metrics then Dut_obs.Metrics.dump stderr;
+    exit 0
+  in
+  Cmd.v (Cmd.info "stream" ~doc)
+    Term.(
+      const run $ file_arg $ n_arg $ eps_arg $ sketch_arg $ budget_arg
+      $ chunk_arg $ window_arg $ alpha_arg $ every_arg $ seed_arg $ jobs_arg
+      $ metrics_arg)
+
 (* -- obs-report: pretty-print a manifest and/or trace ------------------- *)
 
 let read_file path =
@@ -708,9 +890,84 @@ let report_trace path =
          Printf.printf "  %-18s %7d %9.2fs %9.2fs\n" name count (s_of_ns total)
            (s_of_ns longest))
 
+(* Counters classified jobs-invariant in doc/observability.md: the
+   engine's determinism contract makes their totals bit-equal across
+   jobs counts, so two manifests of the same run configuration must
+   agree on them — a mismatch is evidence the contract broke. *)
+let jobs_invariant_counter name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  List.exists has_prefix [ "mc."; "search."; "stream." ]
+
+let counters_of path =
+  let open Dut_obs in
+  if not (Sys.file_exists path) then obs_fail path "no such manifest";
+  match Json.parse (read_file path) with
+  | exception Json.Malformed msg -> obs_fail path msg
+  | exception Sys_error msg -> obs_fail path msg
+  | m -> (
+      match Json.field_opt m "counters" with
+      | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) ->
+              match v with Json.Num f -> Some (k, f) | _ -> None)
+            kvs
+      | _ -> obs_fail path "counters: expected object")
+
+let report_compare path_a path_b =
+  let a = counters_of path_a and b = counters_of path_b in
+  let names =
+    List.sort_uniq String.compare
+      (List.filter jobs_invariant_counter (List.map fst a @ List.map fst b))
+  in
+  if names = [] then begin
+    Printf.printf "compare %s vs %s: no jobs-invariant counters in either\n"
+      path_a path_b;
+    exit 0
+  end;
+  let get kvs k = Option.value (List.assoc_opt k kvs) ~default:0. in
+  let width =
+    List.fold_left (fun w k -> max w (String.length k)) 7 names
+  in
+  Printf.printf "jobs-invariant counters: %s vs %s\n" path_a path_b;
+  Printf.printf "  %-*s %14s %14s\n" width "counter" "A" "B";
+  let mismatches =
+    List.filter
+      (fun k ->
+        let va = get a k and vb = get b k in
+        Printf.printf "  %-*s %14.0f %14.0f%s\n" width k va vb
+          (if va = vb then "" else "   MISMATCH");
+        va <> vb)
+      names
+  in
+  if mismatches = [] then begin
+    Printf.printf "all %d jobs-invariant counters agree\n" (List.length names);
+    exit 0
+  end
+  else begin
+    List.iter
+      (fun k ->
+        if k = "stream.sketch_merges" then
+          Printf.printf
+            "  WARNING: stream.sketch_merges differs between the runs — the \
+             chunked merge sequence depended on the jobs count, breaking the \
+             streaming determinism contract (doc/observability.md)\n"
+        else
+          Printf.printf
+            "  WARNING: %s differs between the runs — classified \
+             jobs-invariant in doc/observability.md\n"
+            k)
+      mismatches;
+    exit 1
+  end
+
 let obs_report_cmd =
   let doc =
-    "Summarise a run manifest and/or span trace as human-readable tables."
+    "Summarise a run manifest and/or span trace as human-readable tables; \
+     with $(b,--compare), diff the jobs-invariant counters of two manifests \
+     and exit non-zero on any disagreement."
   in
   let manifest_arg =
     Arg.(
@@ -730,15 +987,35 @@ let obs_report_cmd =
             "JSONL trace to summarise; every line is validated, so a \
              non-zero exit means a malformed trace.")
   in
-  let run manifest trace =
-    match (manifest, trace) with
-    | None, None -> report_manifest Dut_obs.Manifest.default_path
-    | _ ->
-        Option.iter report_manifest manifest;
-        (match (manifest, trace) with Some _, Some _ -> print_newline () | _ -> ());
-        Option.iter report_trace trace
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:
+            "Second manifest: compare the jobs-invariant counters (mc.*, \
+             search.*, stream.*) of $(b,--manifest) (or the default \
+             manifest) against $(docv); print WARNING lines and exit 1 on \
+             any mismatch.")
   in
-  Cmd.v (Cmd.info "obs-report" ~doc) Term.(const run $ manifest_arg $ trace_file_arg)
+  let run manifest trace compare =
+    match compare with
+    | Some path_b ->
+        report_compare
+          (Option.value manifest ~default:Dut_obs.Manifest.default_path)
+          path_b
+    | None -> (
+        match (manifest, trace) with
+        | None, None -> report_manifest Dut_obs.Manifest.default_path
+        | _ ->
+            Option.iter report_manifest manifest;
+            (match (manifest, trace) with
+            | Some _, Some _ -> print_newline ()
+            | _ -> ());
+            Option.iter report_trace trace)
+  in
+  Cmd.v (Cmd.info "obs-report" ~doc)
+    Term.(const run $ manifest_arg $ trace_file_arg $ compare_arg)
 
 let main =
   let doc =
@@ -754,6 +1031,7 @@ let main =
       verify_cmd;
       serve_cmd;
       query_cmd;
+      stream_cmd;
       obs_report_cmd;
     ]
 

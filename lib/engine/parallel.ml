@@ -114,6 +114,51 @@ let init ?jobs ~rng ~n f =
     chunked ~jobs ~n (fun lo hi ->
         Array.init (hi - lo) (fun i -> f rngs.(lo + i) (lo + i)))
 
+(* Incremental fold: the chunk is the unit of {e seeding}, not just of
+   scheduling. Chunk boundaries are fixed by [~chunk] alone — never by
+   the jobs count — and one child stream is split per chunk, in chunk
+   order, before any task runs. Partial results merge in chunk index
+   order, so the merged value is bit-identical for every jobs count
+   even when [merge] is not commutative. This is the ingestion path of
+   Dut_stream: a growing stream is consumed chunk by chunk, each chunk
+   reduced independently, without materialising per-element state for
+   the whole prefix. *)
+let fold_chunks ?jobs ~rng ~n ~chunk ~f ~init ~merge =
+  if n < 0 then invalid_arg "Parallel.fold_chunks: n < 0";
+  if chunk < 1 then invalid_arg "Parallel.fold_chunks: chunk < 1";
+  let jobs = resolve_jobs jobs in
+  let bounds = chunks ~n ~chunk in
+  let nchunks = Array.length bounds in
+  (* One child stream per chunk, split in chunk order on the submitting
+     domain before any parallel execution: the schedule can never touch
+     the streams. *)
+  let rngs = Array.init nchunks (fun _ -> Dut_prng.Rng.split rng) in
+  if jobs <= 1 || nchunks <= 1 || Pool.in_task () then begin
+    let acc = ref init in
+    for c = 0 to nchunks - 1 do
+      (* The pooled path below checks the cooperative deadline once per
+         task claim (Pool.run_task), i.e. once per chunk. Checking per
+         chunk here — not per element — keeps the sequential fallback's
+         cancellation granularity identical to the pooled one, the same
+         inline/pooled parity run_inline restored for failures. *)
+      Deadline.check ();
+      let lo, hi = bounds.(c) in
+      acc := merge !acc (f rngs.(c) ~lo ~hi)
+    done;
+    !acc
+  end
+  else begin
+    let parts = Array.make nchunks None in
+    with_pool ~jobs (fun pool ->
+        Pool.run pool ~tasks:nchunks (fun c ->
+            let lo, hi = bounds.(c) in
+            parts.(c) <- Some (f rngs.(c) ~lo ~hi)));
+    Array.fold_left
+      (fun acc part ->
+        match part with Some v -> merge acc v | None -> assert false)
+      init parts
+  end
+
 (* [init] is shadowed by init_reduce's [~init] accumulator label. *)
 let init_array = init
 

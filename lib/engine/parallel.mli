@@ -72,6 +72,37 @@ val init_reduce :
 (** Left fold of [reduce] over the elements of [init ~rng ~n f], in
     index order (no associativity requirement on [reduce]). *)
 
+val fold_chunks :
+  ?jobs:int ->
+  rng:Dut_prng.Rng.t ->
+  n:int ->
+  chunk:int ->
+  f:(Dut_prng.Rng.t -> lo:int -> hi:int -> 'a) ->
+  init:'b ->
+  merge:('b -> 'a -> 'b) ->
+  'b
+(** Incremental fold over [0 .. n-1] in contiguous chunks of [chunk]
+    elements (the last may be shorter): each chunk [c] with bounds
+    [(lo, hi)] is reduced to a partial value by [f r_c ~lo ~hi], where
+    [r_c] is the [c]-th child split off [rng], and the partials are
+    merged left to right in chunk index order.
+
+    Unlike the [init] family, the chunk — not the element — is the unit
+    of {e seeding}: chunk boundaries depend only on [chunk], never on
+    [jobs], so the result is bit-identical for every jobs count even
+    when [merge] is not commutative, and a growing stream can be
+    consumed chunk by chunk without per-element state for the whole
+    prefix. This is the ingestion path of [Dut_stream]; [chunk] is part
+    of the determinism contract (changing it changes which child
+    streams exist).
+
+    Cooperative cancellation ({!Deadline}) is checked once per chunk on
+    the sequential fallback — exactly the granularity of the pooled
+    path, which checks at every task claim — so [--timeout-s] bites the
+    same way for every jobs count.
+
+    @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
+
 val count :
   ?jobs:int ->
   rng:Dut_prng.Rng.t ->

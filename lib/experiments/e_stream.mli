@@ -1,0 +1,12 @@
+(** Experiment T21-stream — streaming, memory-bounded testing.
+
+    k players ingest unbounded sample streams into budgeted
+    {!Dut_stream.Sketch}es; the referee merges per-round sketches and
+    emits anytime-valid eps-spending verdicts ({!Dut_stream.Anytime}).
+    Measures final and anytime detection power per memory budget
+    (growing and sliding windows), and the critical stream length q*
+    per budget against the batch collision tester's critical q — the
+    memory/sample tradeoff q* ~ n/√B of Diakonikolas–Gouleakis–Kane–Rao
+    (arXiv:1906.04709). *)
+
+val experiment : Exp.t

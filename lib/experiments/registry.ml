@@ -28,6 +28,7 @@ let all =
     E_byzantine.experiment;
     E_rbit_divergence.experiment;
     E_open_problem.experiment;
+    E_stream.experiment;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all

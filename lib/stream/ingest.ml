@@ -1,0 +1,95 @@
+(* The buffer holds at most [batch] = chunk * 4 * jobs samples: enough
+   full chunks to keep every domain busy per engine dispatch, small
+   enough that memory stays bounded by the chunk size and jobs count,
+   never by the stream length. Chunk boundaries are sample-index
+   arithmetic only — the batch threshold (which does depend on jobs)
+   decides merely when buffered chunks get sketched, not where they
+   start or end, so the emitted sketch sequence is jobs-invariant. *)
+
+type t = {
+  cfg : Sketch.config;
+  chunk : int;
+  jobs : int;
+  on_chunk : Sketch.t -> unit;
+  buf : int array;  (* capacity = batch size *)
+  mutable len : int;  (* pending samples in [buf] *)
+  mutable fed : int;
+  mutable emitted : int;
+  mutable flushed : bool;
+}
+
+let create ?jobs ~chunk ~on_chunk cfg =
+  if chunk < 1 then invalid_arg "Ingest.create: chunk < 1";
+  let jobs =
+    Dut_engine.Pool.effective_jobs
+      (match jobs with
+      | Some j when j >= 1 -> j
+      | Some _ -> invalid_arg "Ingest.create: jobs < 1"
+      | None -> Dut_engine.Parallel.default_jobs ())
+  in
+  {
+    cfg;
+    chunk;
+    jobs;
+    on_chunk;
+    buf = Array.make (chunk * 4 * jobs) 0;
+    len = 0;
+    fed = 0;
+    emitted = 0;
+    flushed = false;
+  }
+
+let sketch_range t lo hi =
+  let sk = Sketch.create t.cfg in
+  for i = lo to hi - 1 do
+    Sketch.add sk t.buf.(i)
+  done;
+  sk
+
+(* Sketch every full chunk currently buffered (concurrently: chunks are
+   independent) and emit the sketches in chunk order; the partial tail
+   chunk slides to the front of the buffer. *)
+let drain_full t =
+  let nfull = t.len / t.chunk in
+  if nfull > 0 then begin
+    let ranges =
+      Array.init nfull (fun c -> (c * t.chunk, (c + 1) * t.chunk))
+    in
+    let sketches =
+      Dut_engine.Parallel.map ~jobs:t.jobs
+        (fun (lo, hi) -> sketch_range t lo hi)
+        ranges
+    in
+    Array.iter t.on_chunk sketches;
+    t.emitted <- t.emitted + nfull;
+    let consumed = nfull * t.chunk in
+    let rest = t.len - consumed in
+    if rest > 0 then Array.blit t.buf consumed t.buf 0 rest;
+    t.len <- rest
+  end
+
+let feed t x =
+  if t.flushed && t.fed mod t.chunk <> 0 then
+    invalid_arg "Ingest.feed: stream already flushed mid-chunk";
+  t.flushed <- false;
+  t.buf.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.fed <- t.fed + 1;
+  if t.len = Array.length t.buf then drain_full t
+
+let feed_array t xs = Array.iter (feed t) xs
+
+let flush t =
+  if not t.flushed then begin
+    drain_full t;
+    if t.len > 0 then begin
+      t.on_chunk (sketch_range t 0 t.len);
+      t.emitted <- t.emitted + 1;
+      t.len <- 0
+    end;
+    t.flushed <- true
+  end
+
+let samples_fed t = t.fed
+
+let chunks_emitted t = t.emitted

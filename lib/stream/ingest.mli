@@ -1,0 +1,45 @@
+(** Deterministic chunked ingestion of an unbounded sample stream.
+
+    [Ingest] turns a stream of samples into a stream of per-chunk
+    {!Sketch.t}s: every [chunk] consecutive samples become one sketch,
+    emitted to the [on_chunk] callback {e in chunk order}. Full chunks
+    are sketched on the execution engine (up to [jobs] concurrently),
+    but chunk boundaries depend only on [chunk] — never on [jobs] or on
+    how the samples were batched into {!feed} calls — so the emitted
+    sketch sequence is bit-identical for every jobs count: the
+    streaming analogue of the engine's determinism contract, and the
+    ingestion path the anytime referee (and the service's batching)
+    consume.
+
+    Nothing here retains per-sample state beyond the current partial
+    chunk: memory is [O(chunk + jobs · words_per_sketch)] regardless of
+    stream length. *)
+
+type t
+
+val create : ?jobs:int -> chunk:int -> on_chunk:(Sketch.t -> unit) -> Sketch.config -> t
+(** [create ~chunk ~on_chunk cfg] ingests into sketches configured by
+    [cfg], emitting one sketch per [chunk] samples. [jobs] defaults to
+    the ambient {!Dut_engine.Parallel.default_jobs} and affects
+    wall-clock only.
+
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val feed : t -> int -> unit
+(** Ingest one sample. Emits buffered full chunks (in order) whenever
+    enough have accumulated to keep [jobs] busy. *)
+
+val feed_array : t -> int array -> unit
+(** Ingest a batch; equivalent to feeding each element in order. *)
+
+val flush : t -> unit
+(** Emit every remaining full chunk, then the final partial chunk (if
+    any) as a short sketch. Call at end of stream; feeding after a
+    partial-chunk flush would misalign chunk boundaries, so {!feed}
+    afterwards raises [Invalid_argument]. Idempotent. *)
+
+val samples_fed : t -> int
+(** Samples ingested so far (including buffered, not-yet-emitted
+    ones). *)
+
+val chunks_emitted : t -> int

@@ -227,6 +227,12 @@ let run_all ~hotpath cfg =
 
 let engine_json_path = Filename.concat "results" "bench_engine.json"
 
+(* Minor-heap words allocated per Monte-Carlo trial — the figure the
+   allocation gate (`--gate`) budgets. Zero trials (a bench leg that
+   only replays memoized results) reads as zero words per trial. *)
+let words_per_trial m =
+  if m.trials <= 0 then 0. else m.minor_words /. float_of_int m.trials
+
 let write_engine_json ~quick ~jobs ~all_before ~all_after rows =
   if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
   let oc = open_out engine_json_path in
@@ -257,12 +263,15 @@ let write_engine_json ~quick ~jobs ~all_before ~all_after rows =
          \"speedup\": %.3f,\n\
         \      \"trials_before\": %d, \"trials_after\": %d, \
          \"minor_words_before\": %.0f, \"minor_words_after\": %.0f,\n\
+        \      \"words_per_trial_before\": %.1f, \"words_per_trial_after\": \
+         %.1f,\n\
         \      \"counters_before\": %s,\n\
         \      \"counters_after\": %s }%s\n"
         id before.seconds after.seconds
         (before.seconds /. after.seconds)
         before.trials after.trials before.minor_words after.minor_words
-        (counters_obj before) (counters_obj after)
+        (words_per_trial before) (words_per_trial after) (counters_obj before)
+        (counters_obj after)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
@@ -287,10 +296,11 @@ let bench_engine ~quick () =
             let before = run_experiment ~hotpath:false cfg_before exp in
             let after = run_experiment ~hotpath:true cfg_after exp in
             Printf.printf
-              "%-18s before %7.2fs (%7d trials)   after %7.2fs (%7d trials)   \
-               speedup %5.2fx\n\
+              "%-18s before %7.2fs (%7d trials, %9.0f w/trial)   after %7.2fs \
+               (%7d trials, %9.0f w/trial)   speedup %5.2fx\n\
                %!"
-              id before.seconds before.trials after.seconds after.trials
+              id before.seconds before.trials (words_per_trial before)
+              after.seconds after.trials (words_per_trial after)
               (before.seconds /. after.seconds);
             (id, before, after))
       engine_bench_ids
@@ -416,6 +426,183 @@ let bench_stream ~quick () =
   close_out oc;
   print_endline ("wrote " ^ stream_json_path)
 
+(* -- Part 4: per-kernel before/after (`results/bench_kernels.json`) ----- *)
+
+(* Isolated rows for the three kernels the engine overhaul rewrote —
+   the WHT, the alias block draw, and the counting referee — each
+   timed against the code shape it replaced, with the replaced shape
+   reconstructed here (or reached through [Scratch.set_reuse false])
+   so the comparison survives in one binary. Every row asserts the two
+   legs produce identical values before it is trusted with a clock. *)
+
+let kernels_json_path = Filename.concat "results" "bench_kernels.json"
+
+(* The pre-overhaul transform: plain h-doubling butterflies, bounds
+   checks on every access, no cache blocking. *)
+let wht_reference a =
+  let n = Array.length a in
+  let h = ref 1 in
+  while !h < n do
+    let h2 = !h * 2 in
+    let i = ref 0 in
+    while !i < n do
+      for j = !i to !i + !h - 1 do
+        let x = a.(j) and y = a.(j + !h) in
+        a.(j) <- x +. y;
+        a.(j + !h) <- x -. y
+      done;
+      i := !i + h2
+    done;
+    h := h2
+  done
+
+type kernel_meas = {
+  k_name : string;
+  k_reps : int;
+  k_before : float;  (* seconds for all reps *)
+  k_after : float;
+  k_words_before : float;  (* minor words per rep *)
+  k_words_after : float;
+}
+
+let timed_alloc reps f =
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  (seconds, (Gc.minor_words () -. mw0) /. float_of_int reps)
+
+let kernel_row name reps ~before ~after =
+  let k_before, k_words_before = timed_alloc reps before in
+  let k_after, k_words_after = timed_alloc reps after in
+  { k_name = name; k_reps = reps; k_before; k_after; k_words_before;
+    k_words_after }
+
+let bench_kernel_rows ~quick () =
+  let rng = Dut_prng.Rng.create 2019 in
+  (* WHT on a slab 8x the cache block, so the blocked schedule shows. *)
+  let wht_n = 1 lsl 15 in
+  let wht_src = Array.init wht_n (fun i -> float_of_int ((i * 37) land 63)) in
+  let wht_buf = Array.make wht_n 0. in
+  let ref_buf = Array.copy wht_src in
+  Array.blit wht_src 0 wht_buf 0 wht_n;
+  wht_reference ref_buf;
+  Dut_boolcube.Fourier.wht_in_place wht_buf;
+  if ref_buf <> wht_buf then
+    failwith "bench kernels: blocked WHT differs from the reference";
+  (* Alias draws: the scalar-draw Array.init loop the old [draw_many]
+     ran, vs the batched [draw_block] into one reused buffer. Both legs
+     must emit the same stream from the same seed. *)
+  let weights = Array.init 256 (fun i -> float_of_int (1 + (i land 15))) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let pmf = Dut_dist.Pmf.create (Array.map (fun w -> w /. total) weights) in
+  let sampler = Dut_dist.Sampler.of_pmf pmf in
+  let draws = 4096 in
+  let draw_buf = Array.make draws 0 in
+  let r1 = Dut_prng.Rng.create 7 and r2 = Dut_prng.Rng.create 7 in
+  let scalar_draws =
+    Array.init draws (fun _ -> Dut_dist.Sampler.draw sampler r1)
+  in
+  Dut_dist.Sampler.draw_block sampler r2 draw_buf;
+  if scalar_draws <> draw_buf then
+    failwith "bench kernels: draw_block differs from scalar draws";
+  (* Referee: the transcript-materialising legacy round (scratch off)
+     vs the counting [round_accept] (scratch on), same player logic. *)
+  let hard = Dut_dist.Paninski.random ~ell:7 ~eps:0.3 rng in
+  let source = Dut_protocol.Network.of_paninski hard in
+  let k = 64 and q = 64 in
+  let player ~index:_ _coins samples =
+    let ones = ref 0 in
+    Array.iter (fun s -> ones := !ones + (s land 1)) samples;
+    2 * !ones <= Array.length samples
+  in
+  let rule = Dut_protocol.Rule.Majority in
+  let verdict ~hotpath seed =
+    with_kernels ~hotpath (fun () ->
+        let rng = Dut_prng.Rng.create seed in
+        if hotpath then
+          Dut_protocol.Network.round_accept ~rng ~source ~k ~q ~player ~rule
+        else
+          (Dut_protocol.Network.round ~rng ~source ~k ~q ~player ~rule).accept)
+  in
+  for seed = 100 to 120 do
+    if verdict ~hotpath:false seed <> verdict ~hotpath:true seed then
+      failwith "bench kernels: round_accept differs from round"
+  done;
+  let wht_reps = if quick then 20 else 100 in
+  let draw_reps = if quick then 400 else 4000 in
+  let round_reps = if quick then 50 else 500 in
+  let round_rng = Dut_prng.Rng.create 11 in
+  [
+    kernel_row
+      (Printf.sprintf "wht-%d" wht_n)
+      wht_reps
+      ~before:(fun () ->
+        Array.blit wht_src 0 ref_buf 0 wht_n;
+        wht_reference ref_buf)
+      ~after:(fun () ->
+        Array.blit wht_src 0 wht_buf 0 wht_n;
+        Dut_boolcube.Fourier.wht_in_place wht_buf);
+    kernel_row
+      (Printf.sprintf "alias-draw-%d" draws)
+      draw_reps
+      ~before:(fun () ->
+        ignore (Array.init draws (fun _ -> Dut_dist.Sampler.draw sampler rng)))
+      ~after:(fun () -> Dut_dist.Sampler.draw_block sampler rng draw_buf);
+    kernel_row
+      (Printf.sprintf "referee-count-k%d-q%d" k q)
+      round_reps
+      ~before:(fun () ->
+        with_kernels ~hotpath:false (fun () ->
+            ignore
+              (Dut_protocol.Network.round ~rng:(Dut_prng.Rng.split round_rng)
+                 ~source ~k ~q ~player ~rule)))
+      ~after:(fun () ->
+        ignore
+          (Dut_protocol.Network.round_accept ~rng:(Dut_prng.Rng.split round_rng)
+             ~source ~k ~q ~player ~rule));
+  ]
+
+let bench_kernels_io ~quick () =
+  Printf.printf "== kernels: rewritten hot loops vs the shapes they replaced \
+                 ==\n%!";
+  let rows = bench_kernel_rows ~quick () in
+  List.iter
+    (fun m ->
+      Printf.printf
+        "%-24s %4d reps   before %8.4fs (%9.0f w/call)   after %8.4fs \
+         (%9.0f w/call)   speedup %5.2fx\n\
+         %!"
+        m.k_name m.k_reps m.k_before m.k_words_before m.k_after m.k_words_after
+        (m.k_before /. m.k_after))
+    rows;
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let oc = open_out kernels_json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"kernels\",\n\
+    \  \"seed\": 2019,\n\
+    \  \"quick\": %b,\n\
+    \  \"rows\": [\n"
+    quick;
+  List.iteri
+    (fun i m ->
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"reps\": %d, \"before_seconds\": %.4f, \
+         \"after_seconds\": %.4f, \"speedup\": %.3f, \
+         \"minor_words_per_call_before\": %.0f, \
+         \"minor_words_per_call_after\": %.0f }%s\n"
+        m.k_name m.k_reps m.k_before m.k_after
+        (m.k_before /. m.k_after)
+        m.k_words_before m.k_words_after
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline ("wrote " ^ kernels_json_path)
+
 (* -- Schema check for results/bench_engine.json (`--check`) ------------- *)
 
 (* The JSON reader lives in Dut_obs.Json now (the same one obs-report
@@ -470,6 +657,24 @@ let check_engine_json () =
                     "counters_%s[mc.trials_used] disagrees with trials_%s"
                     which which))
         in
+        (* words_per_trial must be the quotient it claims to be, up to
+           the %.1f rounding it was printed with. *)
+        let check_words_per_trial e which =
+          let wpt = want_num e ("words_per_trial_" ^ which) in
+          if wpt < 0. then
+            raise (Malformed ("words_per_trial_" ^ which ^ ": negative"));
+          let trials = want_num e ("trials_" ^ which) in
+          let expect =
+            if trials <= 0. then 0.
+            else want_num e ("minor_words_" ^ which) /. trials
+          in
+          if Float.abs (wpt -. expect) > 0.06 +. (1e-9 *. expect) then
+            raise
+              (Malformed
+                 (Printf.sprintf
+                    "words_per_trial_%s: %g but minor_words/trials is %g" which
+                    wpt expect))
+        in
         check_pair (field root "run_all");
         (match field root "experiments" with
         | Arr [] -> raise (Malformed "experiments: empty")
@@ -487,7 +692,9 @@ let check_engine_json () =
                     "minor_words_after";
                   ];
                 check_counters e "before";
-                check_counters e "after")
+                check_counters e "after";
+                check_words_per_trial e "before";
+                check_words_per_trial e "after")
               exps
         | _ -> raise (Malformed "experiments: expected array"));
         Printf.printf "%s: schema ok\n" engine_json_path
@@ -548,6 +755,116 @@ let check_stream_json () =
         with Malformed msg -> fail msg)
   end
 
+(* Like the stream bench: validated only when present (CI writes it via
+   `--engine --quick` before checking). *)
+let check_kernels_json () =
+  if Sys.file_exists kernels_json_path then begin
+    let fail msg =
+      Printf.eprintf "%s: %s\n" kernels_json_path msg;
+      exit 1
+    in
+    let ic = open_in_bin kernels_json_path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match parse contents with
+    | exception Malformed msg -> fail msg
+    | root -> (
+        try
+          if want_str root "benchmark" <> "kernels" then
+            raise (Malformed "benchmark: expected \"kernels\"");
+          ignore (want_num root "seed");
+          ignore (want_bool root "quick");
+          (match field root "rows" with
+          | Arr [] -> raise (Malformed "rows: empty")
+          | Arr rows ->
+              List.iter
+                (fun r ->
+                  ignore (want_str r "kernel");
+                  if want_num r "reps" < 1. then raise (Malformed "reps < 1");
+                  List.iter
+                    (fun f ->
+                      if want_num r f < 0. then
+                        raise (Malformed (f ^ ": negative")))
+                    [
+                      "before_seconds"; "after_seconds"; "speedup";
+                      "minor_words_per_call_before";
+                      "minor_words_per_call_after";
+                    ])
+                rows
+          | _ -> raise (Malformed "rows: expected array"));
+          Printf.printf "%s: schema ok\n" kernels_json_path
+        with Malformed msg -> fail msg)
+  end
+
+(* -- Allocation-regression gate (`--gate`) ------------------------------ *)
+
+(* Compares the after-leg words-per-trial of a fresh `--engine --quick`
+   run against the committed budget in results/alloc_budget.json and
+   fails if any experiment allocates past it. The budget carries ~2x
+   headroom over the measured figures: words/trial is a property of the
+   code path, not the machine, so anything beyond noise means per-trial
+   allocations crept back into a hot loop. *)
+let budget_json_path = Filename.concat "results" "alloc_budget.json"
+
+let gate_alloc () =
+  let fail msg =
+    Printf.eprintf "alloc gate: %s\n" msg;
+    exit 1
+  in
+  let read path =
+    if not (Sys.file_exists path) then fail (path ^ ": missing");
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match parse contents with
+    | exception Malformed msg -> fail (path ^ ": " ^ msg)
+    | root -> root
+  in
+  let engine = read engine_json_path in
+  let budget = read budget_json_path in
+  try
+    if not (want_bool engine "quick") then
+      fail
+        (engine_json_path
+       ^ ": not a --quick run; the budget is calibrated for `--engine \
+          --quick` (fixed 60-trial probes)");
+    let exps =
+      match field engine "experiments" with
+      | Arr exps -> exps
+      | _ -> fail (engine_json_path ^ ": experiments: expected array")
+    in
+    let budgets =
+      match field budget "budgets" with
+      | Arr [] -> fail (budget_json_path ^ ": budgets: empty")
+      | Arr budgets -> budgets
+      | _ -> fail (budget_json_path ^ ": budgets: expected array")
+    in
+    let over = ref false in
+    List.iter
+      (fun b ->
+        let id = want_str b "id" in
+        let cap = want_num b "max_words_per_trial" in
+        match
+          List.find_opt (fun e -> want_str e "id" = id) exps
+        with
+        | None -> fail (id ^ ": budgeted but missing from bench_engine.json")
+        | Some e ->
+            let trials = want_num e "trials_after" in
+            let wpt =
+              if trials <= 0. then 0.
+              else want_num e "minor_words_after" /. trials
+            in
+            let ok = wpt <= cap in
+            if not ok then over := true;
+            Printf.printf "%-18s %12.1f words/trial   budget %12.1f   %s\n%!"
+              id wpt cap
+              (if ok then "ok" else "EXCEEDED"))
+      budgets;
+    if !over then
+      fail "per-trial allocation budget exceeded — a hot loop regressed"
+    else print_endline "alloc gate: ok"
+  with Malformed msg -> fail msg
+
 let () =
   let has flag = Array.exists (( = ) flag) Sys.argv in
   let value_after flag =
@@ -559,8 +876,10 @@ let () =
   in
   if has "--check" then begin
     check_engine_json ();
-    check_stream_json ()
+    check_stream_json ();
+    check_kernels_json ()
   end
+  else if has "--gate" then gate_alloc ()
   else if has "--stream" then bench_stream ~quick:(has "--quick") ()
   else begin
     Dut_obs.Span.set_sink (value_after "--trace");
@@ -570,6 +889,7 @@ let () =
       run_kernels ()
     end;
     bench_engine ~quick:(has "--quick") ();
+    bench_kernels_io ~quick:(has "--quick") ();
     bench_stream ~quick:(has "--quick") ();
     if has "--metrics" then Dut_obs.Metrics.dump stderr;
     Dut_obs.Span.set_sink None

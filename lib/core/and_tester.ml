@@ -15,11 +15,8 @@ let accepts t rng source =
   let player ~index:_ _coins samples =
     Local_stat.collisions_bounded ~n:t.n samples < t.cutoff
   in
-  let round =
-    Dut_protocol.Network.round ~rng ~source ~k:t.k ~q:t.q ~player
-      ~rule:Dut_protocol.Rule.And
-  in
-  round.accept
+  Dut_protocol.Network.round_accept ~rng ~source ~k:t.k ~q:t.q ~player
+    ~rule:Dut_protocol.Rule.And
 
 let tester ~n ~eps ~k ~q =
   let t = make ~n ~eps ~k ~q in

@@ -83,7 +83,13 @@ let diff_fourier g dist =
   let m = 1 lsl g.ell in
   let width = g.ell + 1 in
   let two_q = 1 lsl g.q in
-  let slice = Array.make two_q 0. in
+  (* The s-slice is a borrowed scratch slab, transformed in place and
+     fully overwritten per x-tuple: the per-tuple [Fourier.transform]
+     copy (and its record) are gone, the arithmetic is unchanged — the
+     normalization [*. inv_n] is applied at the use site, on the same
+     values in the same order. *)
+  let slice = Dut_engine.Scratch.borrow_floats ~len:two_q in
+  let inv_n = 1. /. float_of_int two_q in
   (* Iterate over x-tuples encoded base-m. *)
   let x = Array.make g.q 0 in
   let m_pow_q =
@@ -109,20 +115,22 @@ let diff_fourier g dist =
       done;
       slice.(s_mask) <- value g !idx
     done;
-    let ft = Dut_boolcube.Fourier.transform slice in
+    Dut_boolcube.Fourier.wht_in_place slice;
     (* Accumulate over non-empty S. *)
     for s = 1 to two_q - 1 do
       let zprod = ref 1. in
       for j = 0 to g.q - 1 do
         if (s lsr j) land 1 = 1 then zprod := !zprod *. float_of_int z.(x.(j))
       done;
+      let coeff = slice.(s) *. inv_n in
       total :=
         !total
         +. (eps ** float_of_int (Dut_boolcube.Cube.popcount s))
            *. !zprod
-           *. Dut_boolcube.Fourier.coeff ft s
+           *. coeff
     done
   done;
+  Dut_engine.Scratch.release_floats slice;
   (* Prefactor 2^q / n^q; note n^q = 2^q * m^q, so 2^q/n^q = 1/m^q. *)
   !total /. float_of_int m_pow_q
 

@@ -20,20 +20,26 @@ let collisions samples =
    would outweigh the sort they replace. *)
 let hist_universe_limit = 1 lsl 16
 
+(* Top-level recursion instead of [Array.iter f] + a [ref]: the
+   capturing closure and the accumulator cell were the last per-call
+   allocations on the statistic every player evaluates every round. *)
+let rec bump_all h samples i q acc =
+  if i >= q then acc
+  else
+    bump_all h samples (i + 1) q
+      (acc + Dut_engine.Scratch.bump h (Array.unsafe_get samples i) - 1)
+
 let collisions_bounded ~n samples =
   if n <= 0 then invalid_arg "Local_stat.collisions_bounded: n <= 0";
   if n > hist_universe_limit || not (Dut_engine.Scratch.reuse_enabled ()) then
     collisions samples
-  else begin
+  else
     (* Counting sort via scratch histogram: O(q) with zero allocation
        (clearing is a generation bump, not an O(n) zeroing). Growing a
        bucket from c-1 to c creates exactly c-1 new colliding pairs, so
        one pass accumulates sum C(count,2). *)
     let h = Dut_engine.Scratch.hist ~size:n in
-    let total = ref 0 in
-    Array.iter (fun v -> total := !total + Dut_engine.Scratch.bump h v - 1) samples;
-    !total
-  end
+    bump_all h samples 0 (Array.length samples) 0
 
 let pairs q = float_of_int q *. float_of_int (q - 1) /. 2.
 

@@ -11,7 +11,10 @@ let check ~n ~eps ~k ~q =
 let reject_count_midpoint ~n ~eps ~q rng k =
   (* One uniform round's reject count with midpoint-cutoff players. *)
   let source = Dut_protocol.Network.uniform_source ~n in
-  let player ~index:_ _coins samples = Local_stat.vote_midpoint ~n ~q ~eps samples in
+  let cutoff = Local_stat.midpoint_cutoff ~n ~q ~eps in
+  let player ~index:_ _coins samples =
+    float_of_int (Local_stat.collisions_bounded ~n samples) < cutoff
+  in
   let round =
     Dut_protocol.Network.round ~rng ~source ~k ~q ~player
       ~rule:Dut_protocol.Rule.Majority
@@ -47,18 +50,23 @@ let referee_cutoff t =
   | Fixed { t; _ } -> t
 
 let accepts t rng source =
+  (* Cutoffs are functions of the tester alone: computed here, once per
+     round, not once per vote — the player closures compare against a
+     captured constant. [vote_midpoint] recomputed its float cutoff per
+     player; the captured value is the identical float, so verdicts are
+     unchanged. *)
   let player =
     match t.style with
     | Majority _ ->
+        let cutoff = Local_stat.midpoint_cutoff ~n:t.n ~q:t.q ~eps:t.eps in
         fun ~index:_ _coins samples ->
-          Local_stat.vote_midpoint ~n:t.n ~q:t.q ~eps:t.eps samples
+          float_of_int (Local_stat.collisions_bounded ~n:t.n samples) < cutoff
     | Fixed { local_cutoff; _ } ->
         fun ~index:_ _coins samples ->
           Local_stat.collisions_bounded ~n:t.n samples < local_cutoff
   in
   let rule = Dut_protocol.Rule.Reject_threshold (referee_cutoff t) in
-  let round = Dut_protocol.Network.round ~rng ~source ~k:t.k ~q:t.q ~player ~rule in
-  round.accept
+  Dut_protocol.Network.round_accept ~rng ~source ~k:t.k ~q:t.q ~player ~rule
 
 let tester_majority ~n ~eps ~k ~q ~calibration_trials ~rng =
   let t = make_majority ~n ~eps ~k ~q ~calibration_trials ~rng in

@@ -1,4 +1,26 @@
-type t = { ell : int; eps : float; z : int array }
+type t = {
+  ell : int;
+  eps : float;
+  z : int array;
+  (* The per-sign acceptance thresholds of [draw], scaled by 2^53 so
+     the Bernoulli coin is decided in the integer lattice of
+     [Rng.bits53] (see Sampler for the exactness argument):
+     thr.(1) = p_plus * 2^53 for z(x) = +1, thr.(0) for z(x) = -1.
+     Indexing by (z+1) lsr 1 makes the sign selection a lookup, not a
+     branch. Since eps < 1 both probabilities are strictly inside
+     (0,1), so the coin always consumes exactly one draw — the same
+     stream as [Rng.bernoulli]. *)
+  thr : float array;
+  (* The rejection mask [Rng.int] would rebuild per draw, hoisted. *)
+  mask : int;
+}
+
+let thresholds eps =
+  [| (1. -. eps) /. 2. *. 0x1.0p53; (1. +. eps) /. 2. *. 0x1.0p53 |]
+
+let mask_covering n =
+  let rec go m = if m >= n - 1 then m else go ((m lsl 1) lor 1) in
+  go 1
 
 let create ~ell ~eps ~z =
   if ell < 0 || ell > 20 then invalid_arg "Paninski.create: ell out of [0,20]";
@@ -8,7 +30,7 @@ let create ~ell ~eps ~z =
   Array.iter
     (fun v -> if v <> 1 && v <> -1 then invalid_arg "Paninski.create: z entries must be +-1")
     z;
-  { ell; eps; z = Array.copy z }
+  { ell; eps; z = Array.copy z; thr = thresholds eps; mask = mask_covering (1 lsl ell) }
 
 let random ~ell ~eps rng =
   create ~ell ~eps ~z:(Dut_prng.Rng.rademacher_vector rng (1 lsl ell))
@@ -37,7 +59,7 @@ let random_scratch ~ell ~eps rng =
   in
   (* Same draws, in the same order, as [random]. *)
   Dut_prng.Rng.rademacher_vector_into rng z;
-  { ell; eps; z }
+  { ell; eps; z; thr = thresholds eps; mask = mask_covering (1 lsl ell) }
 
 let all_plus ~ell ~eps = create ~ell ~eps ~z:(Array.make (1 lsl ell) 1)
 
@@ -57,18 +79,38 @@ let prob t i =
 
 let pmf t = Pmf.create_exn_strict (Array.init (n t) (prob t))
 
+(* Top-level, not a local [let rec]: a capturing rejection closure
+   would cost six minor words per draw without flambda. *)
+let rec masked_below rng mask n =
+  let v = Dut_prng.Rng.bits63 rng land mask in
+  if v < n then v else masked_below rng mask n
+
 let draw t rng =
-  let x = Dut_prng.Rng.int rng (m t) in
-  let p_plus = (1. +. (float_of_int t.z.(x) *. t.eps)) /. 2. in
-  let s = if Dut_prng.Rng.bernoulli rng p_plus then 1 else -1 in
-  encode ~x ~s
+  let x = masked_below rng t.mask (m t) in
+  let thr = Array.unsafe_get t.thr ((t.z.(x) + 1) lsr 1) in
+  let plus = float_of_int (Dut_prng.Rng.bits53 rng) < thr in
+  (2 * x) + Bool.to_int (not plus)
 
-let draw_many t rng q = Array.init q (fun _ -> draw t rng)
-
-let draw_many_into t rng buf =
-  for i = 0 to Array.length buf - 1 do
-    buf.(i) <- draw t rng
+(* Batched draws with the rejection mask and tables hoisted: the same
+   stream as repeated scalar [draw]s (one bounded draw, one coin per
+   sample), no per-element closure. *)
+let draw_block t rng buf =
+  let mm = m t in
+  let mask = t.mask in
+  let z = t.z and thr = t.thr in
+  for j = 0 to Array.length buf - 1 do
+    let x = masked_below rng mask mm in
+    let cut = Array.unsafe_get thr ((Array.unsafe_get z x + 1) lsr 1) in
+    let plus = float_of_int (Dut_prng.Rng.bits53 rng) < cut in
+    Array.unsafe_set buf j ((2 * x) + Bool.to_int (not plus))
   done
+
+let draw_many_into t rng buf = draw_block t rng buf
+
+let draw_many t rng q =
+  let buf = Array.make q 0 in
+  draw_block t rng buf;
+  buf
 
 let tuple_prob t tuple =
   Array.fold_left (fun acc i -> acc *. prob t i) 1. tuple

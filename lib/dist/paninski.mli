@@ -72,6 +72,12 @@ val draw : t -> Dut_prng.Rng.t -> int
 val draw_many : t -> Dut_prng.Rng.t -> int -> int array
 (** [q] iid samples. *)
 
+val draw_block : t -> Dut_prng.Rng.t -> int array -> unit
+(** [draw_block t rng buf] fills the caller-owned [buf] with iid
+    samples, bit-identical to repeated scalar {!draw}s — the batched
+    kernel with the rejection mask and threshold tables hoisted out of
+    the loop. [draw_many] and [draw_many_into] wrap it. *)
+
 val draw_many_into : t -> Dut_prng.Rng.t -> int array -> unit
 (** Fill a caller-owned buffer with iid samples — the allocation-free
     {!draw_many}. *)

@@ -4,7 +4,19 @@ type t = {
      returning i, otherwise alias.(i). *)
   prob : float array;
   alias : int array;
+  (* prob scaled by 2^53: [unit_float rng < prob.(i)] is decided as
+     [float_of_int (bits53 rng) < scaled.(i)] — the same strict
+     comparison after an exact power-of-two scaling of both sides
+     (unit_float = bits53 * 2^-53 by definition), saving the division
+     and the boxed-float round trip on every draw. *)
+  scaled : float array;
+  (* The rejection mask [Rng.int] would rebuild per call, hoisted. *)
+  mask : int;
 }
+
+let mask_covering n =
+  let rec go m = if m >= n - 1 then m else go ((m lsl 1) lor 1) in
+  go 1
 
 let of_pmf pmf =
   let n = Pmf.size pmf in
@@ -32,18 +44,48 @@ let of_pmf pmf =
   (* Leftovers (numerical residue) keep prob = 1, aliasing to themselves. *)
   List.iter (fun i -> prob.(i) <- 1.) !small;
   List.iter (fun i -> prob.(i) <- 1.) !large;
-  { pmf; prob; alias }
+  {
+    pmf;
+    prob;
+    alias;
+    scaled = Array.map (fun p -> p *. 0x1.0p53) prob;
+    mask = mask_covering n;
+  }
+
+(* Top-level, not a local [let rec]: a capturing rejection closure
+   would cost six minor words per draw without flambda. *)
+let rec masked_below rng mask n =
+  let v = Dut_prng.Rng.bits63 rng land mask in
+  if v < n then v else masked_below rng mask n
 
 let draw t rng =
+  let i = masked_below rng t.mask (Array.length t.prob) in
+  if float_of_int (Dut_prng.Rng.bits53 rng) < t.scaled.(i) then i
+  else t.alias.(i)
+
+(* The batched kernel: one bounds check up front, hoisted mask and
+   table pointers, unsafe accesses inside. Draws exactly the stream a
+   scalar [draw] loop would — same rejection sequence, same coin —
+   just without the per-element closure or float boxing. *)
+let draw_block t rng buf =
   let n = Array.length t.prob in
-  let i = Dut_prng.Rng.int rng n in
-  if Dut_prng.Rng.unit_float rng < t.prob.(i) then i else t.alias.(i)
-
-let draw_many t rng q = Array.init q (fun _ -> draw t rng)
-
-let draw_many_into t rng buf =
-  for i = 0 to Array.length buf - 1 do
-    buf.(i) <- draw t rng
+  let mask = t.mask in
+  let scaled = t.scaled and alias = t.alias in
+  for j = 0 to Array.length buf - 1 do
+    let i = masked_below rng mask n in
+    let i =
+      if float_of_int (Dut_prng.Rng.bits53 rng) < Array.unsafe_get scaled i
+      then i
+      else Array.unsafe_get alias i
+    in
+    Array.unsafe_set buf j i
   done
+
+let draw_many_into t rng buf = draw_block t rng buf
+
+let draw_many t rng q =
+  let buf = Array.make q 0 in
+  draw_block t rng buf;
+  buf
 
 let pmf t = t.pmf

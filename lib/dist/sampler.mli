@@ -16,10 +16,19 @@ val draw : t -> Dut_prng.Rng.t -> int
 val draw_many : t -> Dut_prng.Rng.t -> int -> int array
 (** [draw_many t rng q] is [q] iid samples. *)
 
+val draw_block : t -> Dut_prng.Rng.t -> int array -> unit
+(** [draw_block t rng buf] fills the caller-owned [buf] with iid
+    samples — the batched kernel: one bounds check per call, the
+    rejection mask and tables hoisted out of the loop, no per-element
+    closures. Bit-identical to filling [buf] with repeated scalar
+    {!draw}s. [draw_many] and [draw_many_into] are thin wrappers over
+    this kernel. *)
+
 val draw_many_into : t -> Dut_prng.Rng.t -> int array -> unit
 (** [draw_many_into t rng buf] fills [buf] with iid samples, drawing
     the same stream [draw_many t rng (Array.length buf)] would. The
-    allocation-free variant for reusable scratch buffers. *)
+    allocation-free variant for reusable scratch buffers; same kernel
+    as {!draw_block}. *)
 
 val pmf : t -> Pmf.t
 (** The pmf this sampler was built from. *)

@@ -166,7 +166,35 @@ let init_reduce ?jobs ~rng ~n ~f ~init ~reduce =
   Array.fold_left reduce init (init_array ?jobs ~rng ~n f)
 
 let count ?jobs ~rng ~n pred =
-  Array.fold_left
-    (fun acc hit -> if hit then acc + 1 else acc)
-    0
-    (init ?jobs ~rng ~n pred)
+  let resolved = resolve_jobs jobs in
+  if
+    n >= 0
+    && (resolved <= 1 || n <= 1 || Pool.in_task ())
+    && Scratch.reuse_enabled ()
+  then begin
+    (* The Monte-Carlo trial loop. Same child streams as the [init]
+       path — one split per element, in index order — but re-seeded
+       into a single borrowed scratch source instead of materialising n
+       generator records and an n-length hit vector. Children never
+       feed back into the parent's splitter, so splitting lazily (per
+       iteration) yields exactly the streams the pre-split loop saw. *)
+    let deadline = Deadline.active () in
+    let child = Dut_prng.Rng.borrow_child () in
+    let acc = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         if deadline then Deadline.check ();
+         Dut_prng.Rng.split_into rng child;
+         if pred child i then incr acc
+       done
+     with e ->
+       Dut_prng.Rng.release_child child;
+       raise e);
+    Dut_prng.Rng.release_child child;
+    !acc
+  end
+  else
+    Array.fold_left
+      (fun acc hit -> if hit then acc + 1 else acc)
+      0
+      (init ?jobs ~rng ~n pred)

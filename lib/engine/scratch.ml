@@ -13,6 +13,8 @@ let m_reuse_hits = Dut_obs.Metrics.counter "scratch.reuse_hits"
 type arena = {
   free : (int, int array list ref) Hashtbl.t;
       (* exact length -> free list of released buffers *)
+  free_floats : (int, float array list ref) Hashtbl.t;
+      (* the same arena for float slabs (flat, unboxed storage) *)
   mutable counts : int array;  (* histogram counts, valid where stamped *)
   mutable stamp : int array;  (* generation stamp per histogram cell *)
   mutable gen : int;  (* current histogram generation *)
@@ -20,7 +22,13 @@ type arena = {
 
 let arena_key =
   Domain.DLS.new_key (fun () ->
-      { free = Hashtbl.create 16; counts = [||]; stamp = [||]; gen = 0 })
+      {
+        free = Hashtbl.create 16;
+        free_floats = Hashtbl.create 16;
+        counts = [||];
+        stamp = [||];
+        gen = 0;
+      })
 
 let arena () = Domain.DLS.get arena_key
 
@@ -41,21 +49,48 @@ let borrow ~len =
     if not (Atomic.get reuse) then Array.make len 0
     else
       let a = arena () in
-      match Hashtbl.find_opt a.free len with
-      | Some ({ contents = buf :: rest } as cell) ->
+      (* [Hashtbl.find] + exception, not [find_opt]: the option would
+         be one small allocation per borrow, i.e. per protocol round. *)
+      match Hashtbl.find a.free len with
+      | { contents = buf :: rest } as cell ->
           cell := rest;
           Dut_obs.Metrics.incr m_reuse_hits;
           buf
-      | Some { contents = [] } | None -> Array.make len 0
+      | { contents = [] } | (exception Not_found) -> Array.make len 0
   end
 
 let release buf =
   let len = Array.length buf in
   if len > 0 && Atomic.get reuse then begin
     let a = arena () in
-    match Hashtbl.find_opt a.free len with
-    | Some cell -> cell := buf :: !cell
-    | None -> Hashtbl.add a.free len (ref [ buf ])
+    match Hashtbl.find a.free len with
+    | cell -> cell := buf :: !cell
+    | exception Not_found -> Hashtbl.add a.free len (ref [ buf ])
+  end
+
+let borrow_floats ~len =
+  if len < 0 then invalid_arg "Scratch.borrow_floats: len < 0";
+  if len = 0 then [||]
+  else begin
+    Dut_obs.Metrics.incr m_borrows;
+    if not (Atomic.get reuse) then Array.make len 0.
+    else
+      let a = arena () in
+      match Hashtbl.find a.free_floats len with
+      | { contents = buf :: rest } as cell ->
+          cell := rest;
+          Dut_obs.Metrics.incr m_reuse_hits;
+          buf
+      | { contents = [] } | (exception Not_found) -> Array.make len 0.
+  end
+
+let release_floats buf =
+  let len = Array.length buf in
+  if len > 0 && Atomic.get reuse then begin
+    let a = arena () in
+    match Hashtbl.find a.free_floats len with
+    | cell -> cell := buf :: !cell
+    | exception Not_found -> Hashtbl.add a.free_floats len (ref [ buf ])
   end
 
 type hist = arena

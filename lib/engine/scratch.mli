@@ -46,6 +46,18 @@ val release : int array -> unit
     list. Releasing a buffer that is still referenced elsewhere is a
     bug (the next borrower will overwrite it). *)
 
+val borrow_floats : len:int -> float array
+(** [borrow_floats ~len] is {!borrow} for float slabs: an exact-length
+    flat (unboxed) float array private to this domain, contents
+    unspecified. Used by the transform kernels whose per-call working
+    set would otherwise be a fresh O(2{^b}) allocation.
+
+    @raise Invalid_argument if [len < 0]. *)
+
+val release_floats : float array -> unit
+(** Return a slab obtained from {!borrow_floats} to this domain's free
+    list; the same aliasing rule as {!release} applies. *)
+
 type hist
 (** A per-domain histogram over [0 .. size-1] with O(1) clearing:
     cells carry a generation stamp, so "clear" just bumps the

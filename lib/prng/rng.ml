@@ -5,6 +5,8 @@ type t = {
   splitter : Splitmix.t;
 }
 
+let m32 = 0xFFFFFFFF
+
 let of_int64 seed =
   {
     gen = Xoshiro.create seed;
@@ -17,37 +19,108 @@ let split t =
   let child_seed = Splitmix.next_int64 t.splitter in
   of_int64 child_seed
 
+(* In-place split: re-seed [child] with exactly the state [split t]
+   would have built, drawing the same single word from [t]'s splitter —
+   but without allocating the two generator records. The child's own
+   splitter doubles as the SplitMix stream that seeds its xoshiro state
+   (that is precisely what [Xoshiro.create] does with a fresh one), and
+   is then re-pointed at mix(lognot child_seed), matching [of_int64]. *)
+let split_into t child =
+  Splitmix.next_pair t.splitter;
+  let sh = Splitmix.out_hi t.splitter and sl = Splitmix.out_lo t.splitter in
+  Splitmix.set_state child.splitter ~hi:sh ~lo:sl;
+  Xoshiro.reseed child.gen child.splitter;
+  (* splitter state := mix (lognot child_seed); lognot in the pair
+     domain is xor with all-ones halves. *)
+  Splitmix.mix_pair child.splitter ~hi:(sh lxor m32) ~lo:(sl lxor m32);
+  Splitmix.set_state child.splitter
+    ~hi:(Splitmix.out_hi child.splitter)
+    ~lo:(Splitmix.out_lo child.splitter)
+
 let split_n t k = Array.init k (fun _ -> split t)
 
+(* A per-domain free list of scratch children for [split_into] loops:
+   borrow once per chunk of work, re-seed in place once per trial. A
+   free list (not a single cell) keeps nested borrowers safe. *)
+let scratch_children = Domain.DLS.new_key (fun () -> ref [])
+
+let borrow_child () =
+  let cell = Domain.DLS.get scratch_children in
+  match !cell with
+  | [] -> create 0
+  | r :: rest ->
+      cell := rest;
+      r
+
+let release_child r =
+  let cell = Domain.DLS.get scratch_children in
+  cell := r :: !cell
+
 let bits64 t = Xoshiro.next_int64 t.gen
+
+(* The allocation-free draws below read the step output back as halves;
+   [bits63] and [bits53] are the integer lattices behind [int] and
+   [unit_float], exposed so samplers can hoist comparisons into the
+   integer domain. *)
+
+let[@inline] bits63 t =
+  let g = t.gen in
+  Xoshiro.step g;
+  ((Xoshiro.out_hi g land 0x7FFFFFFF) lsl 32) lor Xoshiro.out_lo g
+
+let[@inline] bits53 t =
+  let g = t.gen in
+  Xoshiro.step g;
+  (Xoshiro.out_hi g lsl 21) lor (Xoshiro.out_lo g lsr 11)
 
 (* Lemire's nearly-divisionless unbiased bounded generation, specialised to
    OCaml's 63-bit ints. We draw 64 bits, keep the low 63 (non-negative as an
    OCaml int), and reject into the unbiased range. *)
+
+let[@inline] mask_for bound =
+  let rec mask_of m = if m >= bound - 1 then m else mask_of ((m lsl 1) lor 1) in
+  mask_of 1
+
+(* Top-level recursion, not a local [let rec]: a local recursive
+   function capturing [t]/[mask] is a fresh closure on every call
+   without flambda — six minor words per draw on the hottest line in
+   the tree. *)
+let rec masked_int t ~mask ~bound =
+  let v = bits63 t land mask in
+  if v < bound then v else masked_int t ~mask ~bound
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Power-of-two mask covering the bound, then rejection: unbiased and
      fast (expected < 2 draws). *)
-  let rec mask_of m = if m >= bound - 1 then m else mask_of ((m lsl 1) lor 1) in
-  let mask = mask_of 1 in
-  let rec draw () =
-    let v = Int64.to_int (Int64.logand (bits64 t) 0x7FFFFFFFFFFFFFFFL) land mask in
-    if v < bound then v else draw ()
-  in
-  draw ()
+  masked_int t ~mask:(mask_for bound) ~bound
+
+let ints_into t ~bound buf =
+  if bound <= 0 then invalid_arg "Rng.ints_into: bound must be positive";
+  let mask = mask_for bound in
+  for i = 0 to Array.length buf - 1 do
+    Array.unsafe_set buf i (masked_int t ~mask ~bound)
+  done
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: hi < lo";
   lo + int t (hi - lo + 1)
 
-let unit_float t =
+let[@inline] unit_float t =
   (* 53 random bits into [0,1). *)
-  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
-  float_of_int bits *. 0x1.0p-53
+  float_of_int (bits53 t) *. 0x1.0p-53
+
+let unit_floats_into t buf =
+  for i = 0 to Array.length buf - 1 do
+    Array.unsafe_set buf i (float_of_int (bits53 t) *. 0x1.0p-53)
+  done
 
 let float t bound = bound *. unit_float t
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  let g = t.gen in
+  Xoshiro.step g;
+  Xoshiro.out_lo g land 1 = 1
 
 let sign t = if bool t then 1 else -1
 

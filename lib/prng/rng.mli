@@ -24,8 +24,38 @@ val split : t -> t
 val split_n : t -> int -> t array
 (** [split_n t k] is [k] children, one per player. *)
 
+val split_into : t -> t -> unit
+(** [split_into t child] re-seeds [child] in place with exactly the
+    state [split t] would return, advancing [t]'s splitter by the same
+    single word — the allocation-free split for hot loops that recycle
+    one child record per trial. Any previous state of [child] is
+    overwritten. *)
+
+val borrow_child : unit -> t
+(** [borrow_child ()] takes a scratch source from a per-domain free
+    list (or makes one). Its state is unspecified: callers must
+    {!split_into} it before drawing. Pair with {!release_child}; the
+    borrow is per-domain, so a source must never cross domains or
+    outlive the borrowing scope. *)
+
+val release_child : t -> unit
+(** [release_child r] returns a source obtained from {!borrow_child} to
+    the domain-local free list for reuse. *)
+
 val bits64 : t -> int64
 (** 64 uniformly random bits. *)
+
+val bits63 : t -> int
+(** The low 63 bits of a 64-bit draw, as a non-negative native int:
+    the integer lattice behind {!int}. One call consumes exactly one
+    64-bit draw. *)
+
+val bits53 : t -> int
+(** The top 53 bits of a 64-bit draw: the integer lattice behind
+    {!unit_float}, which equals [float_of_int (bits53 t) *. 2.{^-53}].
+    Exposed so samplers can compare in the integer/scaled domain
+    without a division or boxing. One call consumes exactly one 64-bit
+    draw. *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform on [0 .. bound-1], unbiased (power-of-two
@@ -37,6 +67,18 @@ val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform on [lo .. hi] inclusive.
 
     @raise Invalid_argument if [hi < lo]. *)
+
+val ints_into : t -> bound:int -> int array -> unit
+(** [ints_into t ~bound buf] fills [buf] with independent draws of
+    [int t bound], bit-identical to that scalar loop but with the
+    rejection mask hoisted out of it and no per-element closure.
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val unit_floats_into : t -> float array -> unit
+(** [unit_floats_into t buf] fills [buf] with independent {!unit_float}
+    draws, bit-identical to the scalar loop; the flat float array
+    stores unboxed. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform on [0, bound) with 53 random mantissa

@@ -25,3 +25,27 @@ val next_int64 : t -> int64
 val jump : t -> unit
 (** [jump t] advances [t] by 2^128 steps; used to derive long
     non-overlapping subsequences from a single stream. *)
+
+(** {1 Allocation-free pair kernel}
+
+    The state words are stored as native-int 32-bit halves and a step
+    writes its output into the record, so the hot path never boxes an
+    [int64]. Streams are bit-identical to {!next_int64}, which is
+    implemented on this kernel. *)
+
+val step : t -> unit
+(** [step t] advances the generator one draw; the 64 output bits land in
+    the fields read by {!out_hi}/{!out_lo}. Equivalent to
+    {!next_int64} without the boxed return. *)
+
+val out_hi : t -> int
+(** Bits 32..63 of the last {!step} output, in [0, 2{^32}). *)
+
+val out_lo : t -> int
+(** Bits 0..31 of the last {!step} output, in [0, 2{^32}). *)
+
+val reseed : t -> Splitmix.t -> unit
+(** [reseed t sm] refills [t]'s four state words with successive draws
+    from [sm], exactly as {!create} seeds a fresh generator — the
+    in-place, allocation-free variant used to recycle one generator
+    record across protocol rounds. *)

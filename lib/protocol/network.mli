@@ -36,6 +36,25 @@ val round :
 
     @raise Invalid_argument if [k <= 0] or [q < 0]. *)
 
+val round_accept :
+  rng:Dut_prng.Rng.t ->
+  source:source ->
+  k:int ->
+  q:int ->
+  player:player ->
+  rule:Rule.t ->
+  bool
+(** [round_accept] is [(round ...).accept] — draw-for-draw the same
+    round (same per-player split order, same fills) — but for
+    count-decidable rules ({!Rule.count_decidable}) the referee counts
+    votes against the precomputed {!Rule.accept_min} cutoff instead of
+    materialising the vote vector, and the per-player coins recycle one
+    scratch source re-seeded in place per player: the whole round
+    allocates nothing. Falls back to {!round} verbatim for {!Rule.Custom}
+    or when [Dut_engine.Scratch.set_reuse] disabled the scratch kernels.
+
+    @raise Invalid_argument if [k <= 0] or [q < 0]. *)
+
 val round_rates :
   rng:Dut_prng.Rng.t ->
   source:source ->

@@ -24,6 +24,22 @@ let apply rule bits =
   | Majority -> 2 * count_ones bits > k
   | Custom (_, f) -> f bits
 
+let count_decidable = function Custom _ -> false | _ -> true
+
+let accept_min rule ~k =
+  if k <= 0 then invalid_arg "Rule.accept_min: no players";
+  match rule with
+  | And -> k
+  | Or -> 1
+  | Reject_threshold t ->
+      if t <= 0 then invalid_arg "Rule.accept_min: threshold must be positive";
+      k - t + 1
+  | Accept_at_least c ->
+      if c <= 0 then invalid_arg "Rule.accept_min: count must be positive";
+      c
+  | Majority -> (k / 2) + 1
+  | Custom _ -> invalid_arg "Rule.accept_min: custom rule has no count cutoff"
+
 let name = function
   | And -> "AND"
   | Or -> "OR"

@@ -33,6 +33,21 @@ val apply : t -> bool array -> bool
     @raise Invalid_argument on an empty vote vector, or a non-positive
     threshold. *)
 
+val count_decidable : t -> bool
+(** [true] when the referee's verdict depends on the votes only through
+    the number of ones — every rule except {!Custom}. Such rules reduce
+    to a single precomputed cutoff (see {!accept_min}), so a round can
+    fold votes into one counter instead of materialising the vector. *)
+
+val accept_min : t -> k:int -> int
+(** [accept_min rule ~k] is the cutoff c such that, for [k] players,
+    [apply rule bits = (count of ones >= c)]. The branchless-referee
+    form: precompute once per round, then one integer compare. For
+    {!Reject_threshold} the cutoff may be ≤ 0 (always accept).
+
+    @raise Invalid_argument on {!Custom}, [k <= 0], or a non-positive
+    threshold/count (mirroring {!apply}). *)
+
 val name : t -> string
 (** Human-readable name for tables and logs. *)
 

@@ -96,8 +96,47 @@ let test_wht_involution () =
 
 let test_wht_bad_length () =
   Alcotest.check_raises "non power of two"
-    (Invalid_argument "Fourier.wht_in_place: length must be a power of two")
-    (fun () -> Fourier.wht_in_place [| 1.; 2.; 3. |])
+    (Invalid_argument "Fourier.wht_in_place: length 3 is not a power of two")
+    (fun () -> Fourier.wht_in_place [| 1.; 2.; 3. |]);
+  Alcotest.check_raises "zero length"
+    (Invalid_argument "Fourier.wht_in_place: length 0 is not a power of two")
+    (fun () -> Fourier.wht_in_place [||])
+
+let test_wht_blocked_equals_reference () =
+  (* The production transform runs cache-blocked passes for lengths
+     past the 4096-float block; it must stay bit-identical to the
+     naive h-doubling loop on sizes below, at, and well above the
+     block boundary. *)
+  let naive a =
+    let n = Array.length a in
+    let h = ref 1 in
+    while !h < n do
+      let h2 = !h * 2 in
+      let i = ref 0 in
+      while !i < n do
+        for j = !i to !i + !h - 1 do
+          let x = a.(j) and y = a.(j + !h) in
+          a.(j) <- x +. y;
+          a.(j + !h) <- x -. y
+        done;
+        i := !i + h2
+      done;
+      h := h2
+    done
+  in
+  List.iter
+    (fun bits ->
+      let n = 1 lsl bits in
+      let a =
+        Array.init n (fun i -> float_of_int ((i * 31) land 63) -. 17.5)
+      in
+      let b = Array.copy a in
+      naive a;
+      Fourier.wht_in_place b;
+      Alcotest.(check bool)
+        (Printf.sprintf "2^%d bit-identical" bits)
+        true (a = b))
+    [ 0; 1; 5; 12; 13; 14 ]
 
 let test_transform_inverse () =
   let rng = Dut_prng.Rng.create 42 in
@@ -404,6 +443,8 @@ let () =
         [
           Alcotest.test_case "WHT involution" `Quick test_wht_involution;
           Alcotest.test_case "WHT bad length" `Quick test_wht_bad_length;
+          Alcotest.test_case "WHT blocked = naive reference" `Quick
+            test_wht_blocked_equals_reference;
           Alcotest.test_case "transform inverse" `Quick test_transform_inverse;
           Alcotest.test_case "transform of character" `Quick test_transform_of_character;
           Alcotest.test_case "mean and variance" `Quick test_mean_and_variance;

@@ -143,14 +143,16 @@ let test_round_equals_legacy_allocating_round () =
 
 (* Flipping Scratch reuse off routes every gated kernel (round sample
    buffers, counting-sort collisions, scratch hard instances, the
-   single-sample referee) to its legacy allocating body. Both paths
-   consume the same draws, so full evaluations must agree bit for bit —
-   this is what lets the engine bench measure an honest "before" leg. *)
+   counting referee, the single-sample referee) to its legacy
+   allocating body. Both paths consume the same draws, so full
+   evaluations must agree bit for bit — this is what lets the engine
+   bench measure an honest "before" leg. Every refereed tester shape
+   is covered. *)
+let with_reuse b f =
+  Dut_engine.Scratch.set_reuse b;
+  Fun.protect ~finally:(fun () -> Dut_engine.Scratch.set_reuse true) f
+
 let test_legacy_kernels_equal_scratch_kernels () =
-  let with_reuse b f =
-    Dut_engine.Scratch.set_reuse b;
-    Fun.protect ~finally:(fun () -> Dut_engine.Scratch.set_reuse true) f
-  in
   let check_tester name tester =
     let measure () =
       Dut_core.Evaluate.measure ~trials:40 ~rng:(rng 21) ~ell:6 ~eps:0.3 tester
@@ -165,7 +167,126 @@ let test_legacy_kernels_equal_scratch_kernels () =
   in
   check_tester "and" (Dut_core.And_tester.tester ~n:128 ~eps:0.3 ~k:8 ~q:48);
   check_tester "single-sample"
-    (Dut_core.Single_sample.tester ~n:128 ~eps:0.3 ~k:300 ~bits:3)
+    (Dut_core.Single_sample.tester ~n:128 ~eps:0.3 ~k:300 ~bits:3);
+  check_tester "threshold-majority"
+    (Dut_core.Threshold_tester.tester_majority ~n:128 ~eps:0.3 ~k:8 ~q:48
+       ~calibration_trials:30 ~rng:(rng 51));
+  check_tester "threshold-fixed"
+    (Dut_core.Threshold_tester.tester_fixed ~n:128 ~eps:0.3 ~k:8 ~q:64 ~t:2)
+
+(* -- Counting referee ---------------------------------------------------- *)
+
+let test_round_accept_equals_round () =
+  let n = 256 in
+  let source = Dut_protocol.Network.uniform_source ~n in
+  let player ~index _coins samples =
+    Dut_core.Local_stat.collisions samples < 3 + (index mod 2)
+  in
+  let parity votes =
+    Array.fold_left (fun acc v -> acc + Bool.to_int v) 0 votes mod 2 = 0
+  in
+  List.iter
+    (fun rule ->
+      for seed = 0 to 9 do
+        let t =
+          Dut_protocol.Network.round ~rng:(rng seed) ~source ~k:16 ~q:40
+            ~player ~rule
+        in
+        let accept =
+          Dut_protocol.Network.round_accept ~rng:(rng seed) ~source ~k:16 ~q:40
+            ~player ~rule
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d" (Dut_protocol.Rule.name rule) seed)
+          t.accept accept
+      done)
+    [
+      Dut_protocol.Rule.And; Dut_protocol.Rule.Or; Dut_protocol.Rule.Majority;
+      Dut_protocol.Rule.Reject_threshold 4;
+      Dut_protocol.Rule.Accept_at_least 9;
+      (* Not count-decidable: round_accept must fall back to round. *)
+      Dut_protocol.Rule.Custom ("parity", parity);
+    ]
+
+let prop_accept_min_matches_apply =
+  (* For every count-decidable rule the referee's verdict must be the
+     single integer compare [ones >= accept_min] on arbitrary votes. *)
+  QCheck.Test.make ~name:"accept_min cutoff = Rule.apply" ~count:500
+    QCheck.(
+      pair (int_range 1 40) (list_of_size Gen.(int_range 1 40) bool))
+    (fun (threshold, votes) ->
+      let votes = Array.of_list votes in
+      let k = Array.length votes in
+      let ones = Array.fold_left (fun a v -> a + Bool.to_int v) 0 votes in
+      List.for_all
+        (fun rule ->
+          Dut_protocol.Rule.count_decidable rule
+          && Dut_protocol.Rule.apply rule votes
+             = (ones >= Dut_protocol.Rule.accept_min rule ~k))
+        [
+          Dut_protocol.Rule.And; Dut_protocol.Rule.Or;
+          Dut_protocol.Rule.Majority;
+          Dut_protocol.Rule.Reject_threshold threshold;
+          Dut_protocol.Rule.Accept_at_least threshold;
+        ])
+
+let test_custom_rule_not_count_decidable () =
+  Alcotest.(check bool)
+    "custom is not count-decidable" false
+    (Dut_protocol.Rule.count_decidable
+       (Dut_protocol.Rule.Custom ("any", fun _ -> true)));
+  Alcotest.check_raises "accept_min on custom"
+    (Invalid_argument "Rule.accept_min: custom rule has no count cutoff")
+    (fun () ->
+      ignore
+        (Dut_protocol.Rule.accept_min
+           (Dut_protocol.Rule.Custom ("any", fun _ -> true))
+           ~k:4))
+
+(* -- Batched draws ------------------------------------------------------- *)
+
+let prop_sampler_draw_block_equals_scalar =
+  QCheck.Test.make ~name:"Sampler.draw_block = scalar draws" ~count:200
+    QCheck.(
+      pair small_int (list_of_size Gen.(int_range 1 40) (int_range 1 100)))
+    (fun (seed, weights) ->
+      let total = float_of_int (List.fold_left ( + ) 0 weights) in
+      let pmf =
+        Dut_dist.Pmf.create
+          (Array.of_list (List.map (fun w -> float_of_int w /. total) weights))
+      in
+      let s = Dut_dist.Sampler.of_pmf pmf in
+      let a = rng seed and b = rng seed in
+      let buf = Array.make 300 (-1) in
+      Dut_dist.Sampler.draw_block s a buf;
+      buf = Array.init 300 (fun _ -> Dut_dist.Sampler.draw s b)
+      && Dut_prng.Rng.bits64 a = Dut_prng.Rng.bits64 b)
+
+let prop_paninski_draw_block_equals_scalar =
+  QCheck.Test.make ~name:"Paninski.draw_block = scalar draws" ~count:200
+    QCheck.(pair small_int (int_range 0 8))
+    (fun (seed, ell) ->
+      let hard = Dut_dist.Paninski.random ~ell ~eps:0.3 (rng (seed + 1)) in
+      let a = rng seed and b = rng seed in
+      let buf = Array.make 257 (-1) in
+      Dut_dist.Paninski.draw_block hard a buf;
+      buf = Array.init 257 (fun _ -> Dut_dist.Paninski.draw hard b)
+      && Dut_prng.Rng.bits64 a = Dut_prng.Rng.bits64 b)
+
+let test_parallel_count_reuse_invariant () =
+  (* The sequential scratch path of Parallel.count (borrowed child,
+     split_into per index) must count exactly what the legacy split-per
+     -index path counts. *)
+  let pred r _i = Dut_prng.Rng.unit_float r < 0.4 in
+  for seed = 0 to 9 do
+    let count b =
+      with_reuse b (fun () ->
+          Dut_engine.Parallel.count ~jobs:1 ~rng:(rng seed) ~n:500 pred)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d" seed)
+      (count false) (count true)
+  done
 
 let test_measure_jobs_invariant () =
   (* The full evaluation path — scratch samples, scratch Paninski,
@@ -293,6 +414,15 @@ let () =
           Alcotest.test_case "measure jobs-invariant" `Quick
             test_measure_jobs_invariant;
         ] );
+      ( "counting referee",
+        [
+          Alcotest.test_case "round_accept = round for every rule" `Quick
+            test_round_accept_equals_round;
+          Alcotest.test_case "custom rule has no cutoff" `Quick
+            test_custom_rule_not_count_decidable;
+          Alcotest.test_case "Parallel.count reuse-invariant" `Quick
+            test_parallel_count_reuse_invariant;
+        ] );
       ( "search",
         [
           Alcotest.test_case "warm guess saves probes" `Quick
@@ -307,5 +437,8 @@ let () =
             prop_collisions_bounded_equals_collisions;
             prop_hist_counts_match_naive;
             prop_search_seeded_equals_search;
+            prop_accept_min_matches_apply;
+            prop_sampler_draw_block_equals_scalar;
+            prop_paninski_draw_block_equals_scalar;
           ] );
     ]

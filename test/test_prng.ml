@@ -268,6 +268,96 @@ let test_float_bound () =
   done;
   check_float "float 0 bound" 0. (Rng.float rng 0.)
 
+(* -- Pair kernel vs the Int64 reference ------------------------------ *)
+
+(* Textbook splitmix64, kept in Int64 the whole way. The production
+   kernel runs on 32-bit native halves to stay allocation-free, so
+   matching this reference word for word across seeds certifies the
+   limb arithmetic (carries, cross products, shifts across the seam). *)
+let splitmix_ref seed =
+  let state = ref seed in
+  fun () ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rotl64 x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* Textbook xoshiro256++ in Int64, seeded exactly as [Xoshiro.create]:
+   four splitmix64 words (all-zero guarded to s0 = 1). *)
+let xoshiro_ref seed =
+  let sm = splitmix_ref seed in
+  let s = Array.init 4 (fun _ -> sm ()) in
+  if Array.for_all (Int64.equal 0L) s then s.(0) <- 1L;
+  fun () ->
+    let result = Int64.add (rotl64 (Int64.add s.(0) s.(3)) 23) s.(0) in
+    let t = Int64.shift_left s.(1) 17 in
+    s.(2) <- Int64.logxor s.(2) s.(0);
+    s.(3) <- Int64.logxor s.(3) s.(1);
+    s.(1) <- Int64.logxor s.(1) s.(2);
+    s.(0) <- Int64.logxor s.(0) s.(3);
+    s.(2) <- Int64.logxor s.(2) t;
+    s.(3) <- rotl64 s.(3) 45;
+    result
+
+let kernel_seeds =
+  [ 0L; 1L; -1L; 123456789L; 0xDEADBEEFL; Int64.min_int; Int64.max_int ]
+
+let test_splitmix_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let t = Splitmix.create seed in
+      let next = splitmix_ref seed in
+      for i = 1 to 500 do
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %Ld word %d" seed i)
+          (next ()) (Splitmix.next_int64 t)
+      done)
+    kernel_seeds
+
+let test_xoshiro_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let t = Xoshiro.create seed in
+      let next = xoshiro_ref seed in
+      for i = 1 to 500 do
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %Ld word %d" seed i)
+          (next ()) (Xoshiro.next_int64 t)
+      done)
+    kernel_seeds
+
+let test_unit_float_is_bits53_lattice () =
+  (* unit_float is the 53-bit integer lattice scaled by 2^-53 — the
+     identity the samplers' integer-compare fast paths rely on. *)
+  let a = Rng.create 31 and b = Rng.create 31 in
+  for _ = 1 to 2000 do
+    check_float "lattice point"
+      (float_of_int (Rng.bits53 b) *. 0x1.0p-53)
+      (Rng.unit_float a)
+  done
+
+let test_borrow_child_streams_like_split () =
+  let a = Rng.create 77 and b = Rng.create 77 in
+  let c1 = Rng.split a in
+  let c2 = Rng.borrow_child () in
+  Rng.split_into b c2;
+  let s1 = Array.init 10 (fun _ -> Rng.bits64 c1) in
+  let s2 = Array.init 10 (fun _ -> Rng.bits64 c2) in
+  Rng.release_child c2;
+  Alcotest.(check (array int64)) "borrowed child streams like split" s1 s2
+
 (* -- qcheck properties ---------------------------------------------- *)
 
 let prop_int_in_bounds =
@@ -288,6 +378,44 @@ let prop_split_deterministic =
         (Rng.bits64 r, Rng.bits64 c)
       in
       mk () = mk ())
+
+let prop_ints_into_equals_scalar =
+  (* Same values AND the same post-state (checked through bits64): the
+     batched fill consumes exactly the draws the scalar loop would. *)
+  QCheck.Test.make ~name:"ints_into = scalar int loop" ~count:300
+    QCheck.(triple small_int (int_range 1 2000) (int_range 0 300))
+    (fun (seed, bound, len) ->
+      let a = Rng.create seed and b = Rng.create seed in
+      let buf = Array.make len 0 in
+      Rng.ints_into a ~bound buf;
+      let expected = Array.init len (fun _ -> Rng.int b bound) in
+      expected = buf && Rng.bits64 a = Rng.bits64 b)
+
+let prop_unit_floats_into_equals_scalar =
+  QCheck.Test.make ~name:"unit_floats_into = scalar unit_float loop"
+    ~count:300
+    QCheck.(pair small_int (int_range 0 300))
+    (fun (seed, len) ->
+      let a = Rng.create seed and b = Rng.create seed in
+      let buf = Array.make len 0. in
+      Rng.unit_floats_into a buf;
+      let expected = Array.init len (fun _ -> Rng.unit_float b) in
+      expected = buf && Rng.bits64 a = Rng.bits64 b)
+
+let prop_split_into_equals_split =
+  (* Reseeding a scratch child in place must give the stream a fresh
+     [split] would, twice in a row, and leave the parent identical. *)
+  QCheck.Test.make ~name:"split_into = split (children and parent)" ~count:200
+    QCheck.small_int (fun seed ->
+      let a = Rng.create seed and b = Rng.create seed in
+      let scratch = Rng.create 0 in
+      let round () =
+        let fresh = Rng.split a in
+        Rng.split_into b scratch;
+        Array.init 30 (fun _ -> Rng.bits64 fresh)
+        = Array.init 30 (fun _ -> Rng.bits64 scratch)
+      in
+      round () && round () && Rng.bits64 a = Rng.bits64 b)
 
 let () =
   Alcotest.run "dut_prng"
@@ -338,7 +466,22 @@ let () =
           Alcotest.test_case "sign balance" `Quick test_sign_balance;
           Alcotest.test_case "rademacher vector" `Quick test_rademacher_vector;
         ] );
+      ( "pair kernel",
+        [
+          Alcotest.test_case "splitmix matches Int64 reference" `Quick
+            test_splitmix_matches_int64_reference;
+          Alcotest.test_case "xoshiro matches Int64 reference" `Quick
+            test_xoshiro_matches_int64_reference;
+          Alcotest.test_case "unit_float is the bits53 lattice" `Quick
+            test_unit_float_is_bits53_lattice;
+          Alcotest.test_case "borrowed child streams like split" `Quick
+            test_borrow_child_streams_like_split;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_int_in_bounds; prop_split_deterministic ] );
+          [
+            prop_int_in_bounds; prop_split_deterministic;
+            prop_ints_into_equals_scalar; prop_unit_floats_into_equals_scalar;
+            prop_split_into_equals_split;
+          ] );
     ]

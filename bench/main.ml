@@ -796,6 +796,133 @@ let check_kernels_json () =
         with Malformed msg -> fail msg)
   end
 
+(* -- Bench history (results/bench_history.jsonl) ------------------------ *)
+
+(* One row appended per `--quick` bench run: the longitudinal record
+   `dut obs-report --regressions` reads. Only quick runs append — the
+   full-budget legs time a different workload, so their wall-clocks
+   would not be comparable rows. Fields whose source json is absent
+   (e.g. a `--stream`-only run has no engine numbers) are null, and the
+   regression report skips them. *)
+let history_json_path = Filename.concat "results" "bench_history.jsonl"
+let history_schema = "dut-bench-history/1"
+
+let read_json_opt path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match parse contents with exception Malformed _ -> None | j -> Some j
+  end
+
+let append_history () =
+  let engine = read_json_opt engine_json_path in
+  let stream = read_json_opt stream_json_path in
+  let num_field j obj f =
+    match Option.bind j (fun j -> field_opt j obj) with
+    | Some o -> ( try Some (want_num o f) with Malformed _ -> None)
+    | None -> None
+  in
+  (* Max over the experiment rows: the gate-relevant per-trial
+     allocation figure. *)
+  let words_per_trial =
+    match Option.bind engine (fun j -> field_opt j "experiments") with
+    | Some (Dut_obs.Json.Arr exps) ->
+        List.fold_left
+          (fun acc e ->
+            match want_num e "words_per_trial_after" with
+            | w -> Some (Float.max w (Option.value ~default:0. acc))
+            | exception Malformed _ -> acc)
+          None exps
+    | _ -> None
+  in
+  (* Best throughput across the sketch-budget ladder. *)
+  let ingest_samples_per_s =
+    match Option.bind stream (fun j -> field_opt j "rows") with
+    | Some (Dut_obs.Json.Arr rows) ->
+        List.fold_left
+          (fun acc r ->
+            match want_num r "samples_per_sec" with
+            | s -> Some (Float.max s (Option.value ~default:0. acc))
+            | exception Malformed _ -> acc)
+          None rows
+    | _ -> None
+  in
+  let jobs =
+    let of_json j = try Some (want_num j "jobs") with Malformed _ -> None in
+    match (Option.bind engine of_json, Option.bind stream of_json) with
+    | Some j, _ | None, Some j -> j
+    | None, None ->
+        float_of_int
+          (Dut_engine.Pool.effective_jobs (Dut_engine.Parallel.env_jobs ()))
+  in
+  let opt = function Some v -> Dut_obs.Json.Num v | None -> Dut_obs.Json.Null in
+  let row =
+    Dut_obs.Json.Obj
+      [
+        ("schema", Dut_obs.Json.Str history_schema);
+        ("git", Dut_obs.Json.Str (Dut_obs.Manifest.git_describe ()));
+        ("unix_time", Dut_obs.Json.Num (Float.round (Unix.time ())));
+        ("jobs", Dut_obs.Json.Num jobs);
+        ("run_all_wall_s", opt (num_field engine "run_all" "after_seconds"));
+        ("run_all_speedup", opt (num_field engine "run_all" "speedup"));
+        ("words_per_trial", opt words_per_trial);
+        ("ingest_samples_per_s", opt ingest_samples_per_s);
+      ]
+  in
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 history_json_path
+  in
+  output_string oc (Dut_obs.Json.to_string row);
+  output_char oc '\n';
+  close_out oc;
+  print_endline ("appended " ^ history_json_path)
+
+(* Validated only when present, like the stream/kernel jsons: every row
+   must be a parseable dut-bench-history/1 object with sane numbers. *)
+let check_history_jsonl () =
+  if Sys.file_exists history_json_path then begin
+    let fail msg =
+      Printf.eprintf "%s: %s\n" history_json_path msg;
+      exit 1
+    in
+    let ic = open_in history_json_path in
+    let rec go i =
+      match input_line ic with
+      | exception End_of_file -> i
+      | line -> (
+          match parse line with
+          | exception Malformed msg ->
+              fail (Printf.sprintf "row %d: %s" i msg)
+          | j ->
+              (try
+                 if want_str j "schema" <> history_schema then
+                   raise (Malformed ("expected schema " ^ history_schema));
+                 ignore (want_str j "git");
+                 if want_num j "unix_time" < 0. then
+                   raise (Malformed "unix_time: negative");
+                 if want_num j "jobs" < 1. then raise (Malformed "jobs < 1");
+                 List.iter
+                   (fun f ->
+                     match field_opt j f with
+                     | Some Dut_obs.Json.Null | None -> ()
+                     | Some (Dut_obs.Json.Num v) when v >= 0. -> ()
+                     | Some _ -> raise (Malformed (f ^ ": expected number or null")))
+                   [
+                     "run_all_wall_s"; "run_all_speedup"; "words_per_trial";
+                     "ingest_samples_per_s";
+                   ]
+               with Malformed msg ->
+                 fail (Printf.sprintf "row %d: %s" i msg));
+              go (i + 1))
+    in
+    let rows = go 1 in
+    close_in ic;
+    Printf.printf "%s: schema ok (%d rows)\n" history_json_path (rows - 1)
+  end
+
 (* -- Allocation-regression gate (`--gate`) ------------------------------ *)
 
 (* Compares the after-leg words-per-trial of a fresh `--engine --quick`
@@ -877,10 +1004,14 @@ let () =
   if has "--check" then begin
     check_engine_json ();
     check_stream_json ();
-    check_kernels_json ()
+    check_kernels_json ();
+    check_history_jsonl ()
   end
   else if has "--gate" then gate_alloc ()
-  else if has "--stream" then bench_stream ~quick:(has "--quick") ()
+  else if has "--stream" then begin
+    bench_stream ~quick:(has "--quick") ();
+    if has "--quick" then append_history ()
+  end
   else begin
     Dut_obs.Span.set_sink (value_after "--trace");
     let engine_only = has "--engine" in
@@ -891,6 +1022,7 @@ let () =
     bench_engine ~quick:(has "--quick") ();
     bench_kernels_io ~quick:(has "--quick") ();
     bench_stream ~quick:(has "--quick") ();
+    if has "--quick" then append_history ();
     if has "--metrics" then Dut_obs.Metrics.dump stderr;
     Dut_obs.Span.set_sink None
   end

@@ -91,6 +91,29 @@ let metrics_arg =
           "After the run, dump the final counter/gauge table \
            (mc.trials_used, search.probes, pool.*, scratch.*) to stderr.")
 
+let sample_interval_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample-interval-ms" ] ~docv:"MS"
+        ~doc:
+          "Sample a run timeline every $(docv) milliseconds: a background \
+           domain appends counter deltas, gauge values, histogram states \
+           and GC statistics to a dut-timeline/1 JSONL file (see \
+           $(b,--timeline)). Strictly out-of-band, like $(b,--trace): \
+           stdout is byte-identical with and without sampling.")
+
+let timeline_path_arg =
+  Arg.(
+    value
+    & opt string Dut_obs.Timeline.default_path
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          (Printf.sprintf
+             "Where $(b,--sample-interval-ms) writes its timeline (default \
+              %s). Render it with $(b,dut obs-report --timeline)."
+             Dut_obs.Timeline.default_path))
+
 let timeout_arg =
   Arg.(
     value
@@ -117,9 +140,17 @@ module Runner = Dut_experiments.Runner
    counter table to stderr, and close the sink. Everything here is
    out-of-band — stdout is untouched. Returns the run's report so the
    caller can turn failures into the exit code. *)
-let with_obs ~trace ~metrics ~command ~cfg run =
+let with_obs ~trace ~metrics ?sample_interval_ms
+    ?(timeline_path = Dut_obs.Timeline.default_path) ~command ~cfg run =
   Dut_obs.Span.set_sink trace;
-  let finally () = Dut_obs.Span.set_sink None in
+  Option.iter
+    (fun interval_ms ->
+      Dut_obs.Timeline.start ~path:timeline_path ~interval_ms ())
+    sample_interval_ms;
+  let finally () =
+    Dut_obs.Timeline.stop ();
+    Dut_obs.Span.set_sink None
+  in
   Fun.protect ~finally @@ fun () ->
   let report = run () in
   let experiments =
@@ -181,7 +212,7 @@ let exit_of_report (report : Runner.report) =
   else 0
 
 let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ~trace ~metrics
-    ?trials ?jobs ?timeout_s id =
+    ?sample_interval_ms ?timeline_path ?trials ?jobs ?timeout_s id =
   match Dut_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `dut list`\n" id;
@@ -192,7 +223,8 @@ let run_one ~profile ~seed ~csv ~timings ~adaptive ~warm_start ~trace ~metrics
           profile
       in
       let report =
-        with_obs ~trace ~metrics ~command:("run " ^ id) ~cfg (fun () ->
+        with_obs ~trace ~metrics ?sample_interval_ms ?timeline_path
+          ~command:("run " ^ id) ~cfg (fun () ->
             let outcome =
               Runner.run_to_channel ~csv ~timings ?timeout_s cfg exp stdout
             in
@@ -221,16 +253,17 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT-ID")
   in
   let run profile seed csv trials jobs no_timings no_adaptive cold_search
-      trace metrics timeout_s id =
+      trace metrics sample_interval_ms timeline_path timeout_s id =
     run_one ~profile ~seed ~csv ~timings:(not no_timings)
       ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) ~trace
-      ~metrics ?trials ?jobs ?timeout_s id
+      ~metrics ?sample_interval_ms ~timeline_path ?trials ?jobs ?timeout_s id
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
       $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ trace_arg
-      $ metrics_arg $ timeout_arg $ id_arg)
+      $ metrics_arg $ sample_interval_arg $ timeline_path_arg $ timeout_arg
+      $ id_arg)
 
 let run_all_cmd =
   let doc =
@@ -242,14 +275,15 @@ let run_all_cmd =
      a run."
   in
   let run profile seed csv trials jobs no_timings no_adaptive cold_search
-      trace metrics timeout_s resume =
+      trace metrics sample_interval_ms timeline_path timeout_s resume =
     let cfg =
       Dut_experiments.Config.make ~seed ?trials ?jobs
         ~adaptive:(not no_adaptive) ~warm_start:(not cold_search) profile
     in
     let report =
       Runner.with_sigint_guard (fun () ->
-          with_obs ~trace ~metrics ~command:"run-all" ~cfg (fun () ->
+          with_obs ~trace ~metrics ?sample_interval_ms ~timeline_path
+            ~command:"run-all" ~cfg (fun () ->
               Runner.run_all_to_channel ~csv ~timings:(not no_timings)
                 ~checkpoint_dir:Dut_experiments.Checkpoint.default_dir ~resume
                 ?timeout_s cfg stdout))
@@ -260,7 +294,8 @@ let run_all_cmd =
     Term.(
       const run $ profile_arg $ seed_arg $ csv_arg $ trials_arg $ jobs_arg
       $ no_timings_arg $ no_adaptive_arg $ cold_search_arg $ trace_arg
-      $ metrics_arg $ timeout_arg $ resume_arg)
+      $ metrics_arg $ sample_interval_arg $ timeline_path_arg $ timeout_arg
+      $ resume_arg)
 
 let bounds_cmd =
   let doc = "Print every bound of the paper for given parameters." in
@@ -687,6 +722,46 @@ let obs_fail path msg =
   Printf.eprintf "%s: %s\n" path msg;
   exit 1
 
+(* Nanosecond quantities span six orders of magnitude across the
+   histograms (a memo front hit vs a full experiment); pick the unit
+   per value instead of forcing one column-wide scale. *)
+let ns_str ns =
+  if Float.abs ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if Float.abs ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if Float.abs ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let hist_cell ~ns j name =
+  match Dut_obs.Json.field_opt j name with
+  | Some (Dut_obs.Json.Num f) -> if ns then ns_str f else Printf.sprintf "%.0f" f
+  | _ -> "-"
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let report_histograms m =
+  let open Dut_obs in
+  match Json.field_opt m "histograms" with
+  | Some (Json.Obj ((_ :: _) as kvs)) ->
+      print_newline ();
+      print_endline "histograms";
+      let width =
+        List.fold_left (fun w (k, _) -> max w (String.length k)) 0 kvs
+      in
+      Printf.printf "  %-*s %8s %9s %9s %9s %9s %9s\n" width "name" "count"
+        "p50" "p90" "p95" "p99" "max";
+      List.iter
+        (fun (k, v) ->
+          let ns = ends_with ~suffix:"_ns" k in
+          Printf.printf "  %-*s %8s %9s %9s %9s %9s %9s\n" width k
+            (hist_cell ~ns:false v "count")
+            (hist_cell ~ns v "p50") (hist_cell ~ns v "p90")
+            (hist_cell ~ns v "p95") (hist_cell ~ns v "p99")
+            (hist_cell ~ns v "max"))
+        kvs
+  | _ -> ()
+
 (* Shared by run and service manifests: render the counter snapshot and
    flag the latent-failure tallies a green run can still accumulate. *)
 let report_counters m =
@@ -722,11 +797,14 @@ let report_counters m =
             "  WARNING: %.0f cache write(s) failed — served answers were \
              not persisted and will recompute after restart\n"
             f)
-        (tally "cache.write_failures")
+        (tally "cache.write_failures");
+      report_histograms m
   | _ -> raise (Dut_obs.Json.Malformed "counters: expected object")
 
-(* dut-service/1: the session summary `dut serve` rewrites after every
-   batch, so this renders live state while the server is running. *)
+(* dut-service/1 and /2: the session summary `dut serve` rewrites after
+   every batch, so this renders live state while the server is running.
+   The /2 additions (qps, latency percentiles, per-batch stats) degrade
+   gracefully: absent fields simply print nothing. *)
 let report_service path m =
   let open Dut_obs in
   Printf.printf "service %s (%s, git %s)\n" path (Json.want_str m "schema")
@@ -746,6 +824,35 @@ let report_service path m =
     else ""
   in
   Printf.printf "  cache       %.0f hits, %.0f misses%s\n" hits misses rate;
+  (match Json.field_opt m "qps" with
+  | Some (Json.Num q) -> Printf.printf "  qps         %.2f\n" q
+  | _ -> ());
+  (match Json.field_opt m "latency_ns" with
+  | Some lat ->
+      Printf.printf "  latency     p50 %s  p90 %s  p95 %s  p99 %s  max %s\n"
+        (hist_cell ~ns:true lat "p50") (hist_cell ~ns:true lat "p90")
+        (hist_cell ~ns:true lat "p95") (hist_cell ~ns:true lat "p99")
+        (hist_cell ~ns:true lat "max")
+  | None -> ());
+  (match Json.field_opt m "last_batch" with
+  | Some (Json.Obj _ as b) ->
+      let ratio =
+        match Json.field_opt b "cache_hit_ratio" with
+        | Some (Json.Num r) -> Printf.sprintf ", %.0f%% cached" (100. *. r)
+        | _ -> ""
+      in
+      let qps =
+        match Json.field_opt b "qps" with
+        | Some (Json.Num q) -> Printf.sprintf " (%.1f qps)" q
+        | _ -> ""
+      in
+      Printf.printf "  last batch  %.0f requests in %.3fs%s%s"
+        (Json.want_num b "requests") (Json.want_num b "seconds") qps ratio;
+      (match Json.field_opt b "latency_ns" with
+      | Some lat ->
+          Printf.printf ", p95 %s\n" (hist_cell ~ns:true lat "p95")
+      | None -> print_newline ())
+  | _ -> ());
   report_counters m
 
 let report_manifest path =
@@ -755,7 +862,11 @@ let report_manifest path =
   match Json.parse (read_file path) with
   | exception Json.Malformed msg -> obs_fail path msg
   | exception Sys_error msg -> obs_fail path msg
-  | m when (try Json.want_str m "schema" = "dut-service/1" with _ -> false)
+  | m
+    when (try
+            let s = Json.want_str m "schema" in
+            String.length s >= 12 && String.sub s 0 12 = "dut-service/"
+          with _ -> false)
     -> (
       try report_service path m with Json.Malformed msg -> obs_fail path msg)
   | m -> (
@@ -844,51 +955,288 @@ let report_manifest path =
         report_counters m
       with Json.Malformed msg -> obs_fail path msg)
 
-let report_trace path =
+(* Load a trace through Profile.read_file, turning an unreadable or
+   malformed-complete-line file into exit 1. Truncation handling is the
+   caller's business: the linter treats it as crash evidence, the
+   profiler works with whatever complete spans survive. *)
+let load_trace path =
   if not (Sys.file_exists path) then obs_fail path "no such trace file";
+  match Dut_obs.Profile.read_file path with
+  | Error msg -> obs_fail path msg
+  | Ok r -> r
+
+let trace_warnings path (r : Dut_obs.Profile.read_result) =
+  if r.spans = [] then
+    Printf.printf
+      "  WARNING: empty trace — the traced run emitted no spans (nothing \
+       ran, or the process died before the first span closed)\n";
+  if r.truncated then
+    Printf.printf
+      "  WARNING: trailing partial line — the traced process crashed \
+       mid-write; the spans above are the complete prefix (%s)\n"
+      path
+
+let report_trace path =
+  let r = load_trace path in
+  let aggs = Dut_obs.Profile.aggregate r.spans in
+  Printf.printf "trace %s: %d spans, %d names\n" path (List.length r.spans)
+    (List.length aggs);
+  if aggs <> [] then begin
+    Printf.printf "  %-18s %7s %10s %10s %10s\n" "name" "count" "total" "self"
+      "max";
+    let s ns = Printf.sprintf "%9.2fs" (float_of_int ns /. 1e9) in
+    List.iter
+      (fun (a : Dut_obs.Profile.agg) ->
+        Printf.printf "  %-18s %7d %10s %10s %10s\n" a.agg_name a.count
+          (s a.total_ns) (s a.self_ns) (s a.max_ns))
+      aggs
+  end;
+  trace_warnings path r;
+  if r.truncated then exit 1
+
+(* --profile: where does the wall time go? Per-name self time against
+   the manifest's summed-CPU accounting. The run-all umbrella span is
+   excluded from the reconciliation sum: under --jobs its children run
+   on other domains as roots (their time is already counted once), and
+   its own self time is scheduling wait, which cpu_seconds never
+   includes. *)
+let report_profile ~trace_path ~manifest_path ~top =
+  let r = load_trace trace_path in
+  let aggs = Dut_obs.Profile.aggregate r.spans in
+  Printf.printf "profile %s: %d spans, %d names\n" trace_path
+    (List.length r.spans) (List.length aggs);
+  trace_warnings trace_path r;
+  if aggs <> [] then begin
+    let total_self = Dut_obs.Profile.total_self_ns r.spans in
+    Printf.printf "  %-18s %7s %10s %10s %7s %10s\n" "name" "count" "total"
+      "self" "self%" "max";
+    let s ns = Printf.sprintf "%9.2fs" (float_of_int ns /. 1e9) in
+    List.iteri
+      (fun i (a : Dut_obs.Profile.agg) ->
+        if i < top then
+          Printf.printf "  %-18s %7d %10s %10s %6.1f%% %10s\n" a.agg_name
+            a.count (s a.total_ns) (s a.self_ns)
+            (if total_self > 0 then
+               100. *. float_of_int a.self_ns /. float_of_int total_self
+             else 0.)
+            (s a.max_ns))
+      aggs;
+    if List.length aggs > top then
+      Printf.printf "  ... %d more names (raise --top)\n"
+        (List.length aggs - top);
+    let wall = float_of_int (Dut_obs.Profile.wall_ns r.spans) /. 1e9 in
+    Printf.printf "wall (trace extent) %.2fs; summed self %.2fs\n" wall
+      (float_of_int total_self /. 1e9);
+    let self_excl =
+      float_of_int
+        (Dut_obs.Profile.total_self_ns ~except:[ "run-all" ] r.spans)
+      /. 1e9
+    in
+    match
+      if Sys.file_exists manifest_path then
+        match Dut_obs.Json.parse (read_file manifest_path) with
+        | exception _ -> None
+        | m -> (
+            match Dut_obs.Json.field_opt m "cpu_seconds" with
+            | Some (Dut_obs.Json.Num cpu) -> Some cpu
+            | _ -> None)
+      else None
+    with
+    | Some cpu when cpu > 0. ->
+        let delta = 100. *. Float.abs (self_excl -. cpu) /. cpu in
+        Printf.printf
+          "reconcile: summed self excl run-all %.2fs vs manifest summed-cpu \
+           %.2fs (delta %.2f%%)\n"
+          self_excl cpu delta
+    | _ ->
+        Printf.printf
+          "reconcile: no readable cpu_seconds in %s — skipped\n" manifest_path
+  end
+
+(* --flame: folded stacks on stdout, one "root;child;leaf self_ns" line
+   per distinct stack — pipe into any flamegraph renderer. *)
+let report_flame trace_path =
+  let r = load_trace trace_path in
+  List.iter
+    (fun (stack, self_ns) -> Printf.printf "%s %d\n" stack self_ns)
+    (Dut_obs.Profile.folded r.spans)
+
+(* -- Timeline rendering -------------------------------------------------- *)
+
+let report_timeline path =
   let open Dut_obs in
-  let ic = open_in path in
-  let by_name = Hashtbl.create 8 in
-  let spans = ref 0 in
-  let lineno = ref 0 in
-  (try
-     while true do
-       let line = input_line ic in
-       incr lineno;
-       if String.trim line <> "" then begin
-         match Json.parse line with
-         | exception Json.Malformed msg ->
-             close_in_noerr ic;
-             obs_fail path (Printf.sprintf "line %d: %s" !lineno msg)
-         | span ->
-             (try
-                let name = Json.want_str span "name" in
-                ignore (Json.want_num span "span");
-                ignore (Json.want_num span "start_ns");
-                let dur = Json.want_num span "dur_ns" in
-                incr spans;
-                let count, total, longest =
-                  Option.value
-                    (Hashtbl.find_opt by_name name)
-                    ~default:(0, 0., 0.)
+  if not (Sys.file_exists path) then
+    obs_fail path "no such timeline (run with --sample-interval-ms first)";
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> obs_fail path "empty timeline file"
+  | header :: samples -> (
+      match Json.parse header with
+      | exception Json.Malformed msg -> obs_fail path msg
+      | h ->
+          (match Json.field_opt h "schema" with
+          | Some (Json.Str "dut-timeline/1") -> ()
+          | _ -> obs_fail path "not a dut-timeline/1 file");
+          let started_ns = Json.want_num h "started_ns" in
+          let interval_ms = Json.want_num h "interval_ms" in
+          let parsed =
+            List.mapi
+              (fun i line ->
+                match Json.parse line with
+                | exception Json.Malformed msg ->
+                    obs_fail path (Printf.sprintf "sample %d: %s" (i + 1) msg)
+                | j -> j)
+              samples
+          in
+          let span_s =
+            match List.rev parsed with
+            | last :: _ -> (Json.want_num last "t_ns" -. started_ns) /. 1e9
+            | [] -> 0.
+          in
+          Printf.printf "timeline %s (dut-timeline/1, every %.0fms): %d \
+                         samples over %.1fs\n"
+            path interval_ms (List.length parsed) span_s;
+          if parsed <> [] then begin
+            Printf.printf "  %8s %10s %8s %9s %10s %10s %10s\n" "t(s)"
+              "dtrials" "dtasks" "idle(ms)" "minor(Mw)" "major(Mw)"
+              "task p95";
+            List.iter
+              (fun j ->
+                let t = (Json.want_num j "t_ns" -. started_ns) /. 1e9 in
+                let counter name =
+                  match Json.field_opt j "counters" with
+                  | Some c -> (
+                      match Json.field_opt c name with
+                      | Some (Json.Num f) -> f
+                      | _ -> 0.)
+                  | None -> 0.
                 in
-                Hashtbl.replace by_name name
-                  (count + 1, total +. dur, Float.max longest dur)
-              with Json.Malformed msg ->
-                close_in_noerr ic;
-                obs_fail path (Printf.sprintf "line %d: %s" !lineno msg))
-       end
-     done
-   with End_of_file -> close_in_noerr ic);
-  Printf.printf "trace %s: %d spans, %d names\n" path !spans
-    (Hashtbl.length by_name);
-  Printf.printf "  %-18s %7s %10s %10s\n" "name" "count" "total" "max";
-  let s_of_ns ns = ns /. 1e9 in
-  Hashtbl.fold (fun name stats acc -> (name, stats) :: acc) by_name []
-  |> List.sort (fun (_, (_, a, _)) (_, (_, b, _)) -> Float.compare b a)
-  |> List.iter (fun (name, (count, total, longest)) ->
-         Printf.printf "  %-18s %7d %9.2fs %9.2fs\n" name count (s_of_ns total)
-           (s_of_ns longest))
+                let gc name =
+                  match Json.field_opt j "gc" with
+                  | Some g -> (
+                      match Json.field_opt g name with
+                      | Some (Json.Num f) -> f
+                      | _ -> 0.)
+                  | None -> 0.
+                in
+                let task_p95 =
+                  match Json.field_opt j "histograms" with
+                  | Some hs -> (
+                      match Json.field_opt hs "pool.task_ns" with
+                      | Some hp -> hist_cell ~ns:true hp "p95"
+                      | None -> "-")
+                  | None -> "-"
+                in
+                Printf.printf "  %8.2f %10.0f %8.0f %9.1f %10.2f %10.2f %10s\n"
+                  t
+                  (counter "mc.trials_used")
+                  (counter "pool.tasks_claimed")
+                  (counter "pool.idle_ns" /. 1e6)
+                  (gc "minor_words" /. 1e6)
+                  (gc "major_words" /. 1e6)
+                  task_p95)
+              parsed
+          end)
+
+(* -- Bench history / regressions ----------------------------------------- *)
+
+let history_schema = "dut-bench-history/1"
+
+let report_regressions ~history ~last_k =
+  let open Dut_obs in
+  if not (Sys.file_exists history) then
+    obs_fail history
+      "no bench history (quick bench runs append to it: dune exec \
+       bench/main.exe -- --engine --quick)";
+  let rows =
+    String.split_on_char '\n' (read_file history)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.mapi (fun i line ->
+           match Json.parse line with
+           | exception Json.Malformed msg ->
+               obs_fail history (Printf.sprintf "row %d: %s" (i + 1) msg)
+           | j ->
+               (match Json.field_opt j "schema" with
+               | Some (Json.Str s) when s = history_schema -> ()
+               | _ ->
+                   obs_fail history
+                     (Printf.sprintf "row %d: not a %s row" (i + 1)
+                        history_schema));
+               j)
+  in
+  let total = List.length rows in
+  let rows =
+    if total > last_k then
+      List.filteri (fun i _ -> i >= total - last_k) rows
+    else rows
+  in
+  Printf.printf "bench history %s: last %d of %d rows\n" history
+    (List.length rows) total;
+  let wall_of j =
+    match Json.field_opt j "run_all_wall_s" with
+    | Some (Json.Num f) -> Some f
+    | _ -> None
+  in
+  let rate_of j =
+    match Json.field_opt j "ingest_samples_per_s" with
+    | Some (Json.Num f) -> Some f
+    | _ -> None
+  in
+  Printf.printf "  %-24s %6s %12s %16s\n" "git" "jobs" "run-all(s)"
+    "ingest(M/s)";
+  List.iter
+    (fun j ->
+      let opt fmt = function Some f -> Printf.sprintf fmt f | None -> "-" in
+      Printf.printf "  %-24s %6.0f %12s %16s\n"
+        (try Json.want_str j "git" with _ -> "?")
+        (try Json.want_num j "jobs" with _ -> 0.)
+        (opt "%.2f" (wall_of j))
+        (opt "%.2f" (Option.map (fun r -> r /. 1e6) (rate_of j))))
+    rows;
+  match List.rev rows with
+  | [] | [ _ ] -> ()
+  | newest :: older ->
+      let best older of_row =
+        List.fold_left
+          (fun acc j ->
+            match (of_row j, acc) with
+            | Some v, Some b -> Some (Float.min v b)
+            | Some v, None -> Some v
+            | None, acc -> acc)
+          None older
+      in
+      (match (wall_of newest, best older wall_of) with
+      | Some now, Some best when now > 1.2 *. best ->
+          Printf.printf
+            "  WARNING: run-all wall %.2fs is %.0f%% above the best of the \
+             previous rows (%.2fs) — possible regression\n"
+            now
+            (100. *. ((now /. best) -. 1.))
+            best
+      | _ -> ());
+      (* Throughput regresses downward, so compare against the best
+         (highest) earlier rate. *)
+      let best_rate =
+        List.fold_left
+          (fun acc j ->
+            match (rate_of j, acc) with
+            | Some v, Some b -> Some (Float.max v b)
+            | Some v, None -> Some v
+            | None, acc -> acc)
+          None older
+      in
+      (match (rate_of newest, best_rate) with
+      | Some now, Some best when now < best /. 1.2 ->
+          Printf.printf
+            "  WARNING: ingest throughput %.2fM/s is %.0f%% below the best \
+             of the previous rows (%.2fM/s) — possible regression\n"
+            (now /. 1e6)
+            (100. *. (1. -. (now /. best)))
+            (best /. 1e6)
+      | _ -> ())
 
 (* Counters classified jobs-invariant in doc/observability.md: the
    engine's determinism contract makes their totals bit-equal across
@@ -965,9 +1313,12 @@ let report_compare path_a path_b =
 
 let obs_report_cmd =
   let doc =
-    "Summarise a run manifest and/or span trace as human-readable tables; \
-     with $(b,--compare), diff the jobs-invariant counters of two manifests \
-     and exit non-zero on any disagreement."
+    "Summarise a run manifest and/or span trace as human-readable tables. \
+     With $(b,--compare), diff the jobs-invariant counters of two manifests \
+     and exit non-zero on any disagreement; with $(b,--timeline), render a \
+     dut-timeline/1 sampling file; with $(b,--profile)/$(b,--flame), turn a \
+     trace into per-span-name self-time attribution or folded flamegraph \
+     stacks; with $(b,--regressions), compare recent bench-history rows."
   in
   let manifest_arg =
     Arg.(
@@ -998,13 +1349,80 @@ let obs_report_cmd =
              manifest) against $(docv); print WARNING lines and exit 1 on \
              any mismatch.")
   in
-  let run manifest trace compare =
-    match compare with
-    | Some path_b ->
+  let timeline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Render a dut-timeline/1 sampling file (written by \
+             $(b,--sample-interval-ms)) as an aligned time-series table.")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Aggregate $(b,--trace) into per-span-name \
+             count/total/self-time (top $(b,--top) by self), and reconcile \
+             the summed self time against the manifest's cpu_seconds.")
+  in
+  let flame_flag =
+    Arg.(
+      value & flag
+      & info [ "flame" ]
+          ~doc:
+            "Emit $(b,--trace) as folded stacks (one \
+             $(i,root;child;leaf self_ns) line per distinct stack) on \
+             stdout, ready for standard flamegraph tooling.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows shown in the $(b,--profile) table (default 15).")
+  in
+  let regressions_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 8) (some int) None
+      & info [ "regressions" ] ~docv:"K"
+          ~doc:
+            "Compare the last $(docv) rows (default 8) of the bench \
+             history and print a WARNING when the newest run-all wall time \
+             or ingest throughput regressed by more than 20%.")
+  in
+  let history_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat "results" "bench_history.jsonl")
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:
+            "Bench history read by $(b,--regressions) (default \
+             results/bench_history.jsonl).")
+  in
+  let run manifest trace compare timeline profile flame top regressions
+      history =
+    let need_trace what =
+      match trace with
+      | Some t -> t
+      | None -> obs_fail what "requires --trace FILE"
+    in
+    match (compare, timeline, flame, profile, regressions) with
+    | _, _, _, _, Some k -> report_regressions ~history ~last_k:(max 1 k)
+    | _, Some path, _, _, _ -> report_timeline path
+    | _, _, true, _, _ -> report_flame (need_trace "--flame")
+    | _, _, _, true, _ ->
+        report_profile
+          ~trace_path:(need_trace "--profile")
+          ~manifest_path:
+            (Option.value manifest ~default:Dut_obs.Manifest.default_path)
+          ~top:(max 1 top)
+    | Some path_b, _, _, _, _ ->
         report_compare
           (Option.value manifest ~default:Dut_obs.Manifest.default_path)
           path_b
-    | None -> (
+    | None, None, false, false, None -> (
         match (manifest, trace) with
         | None, None -> report_manifest Dut_obs.Manifest.default_path
         | _ ->
@@ -1015,7 +1433,9 @@ let obs_report_cmd =
             Option.iter report_trace trace)
   in
   Cmd.v (Cmd.info "obs-report" ~doc)
-    Term.(const run $ manifest_arg $ trace_file_arg $ compare_arg)
+    Term.(
+      const run $ manifest_arg $ trace_file_arg $ compare_arg $ timeline_arg
+      $ profile_flag $ flame_flag $ top_arg $ regressions_arg $ history_arg)
 
 let main =
   let doc =

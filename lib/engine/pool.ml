@@ -36,6 +36,12 @@ let m_idle_ns = Dut_obs.Metrics.counter "pool.idle_ns"
    cancelled always sums to the job's task count. *)
 let m_tasks_cancelled = Dut_obs.Metrics.counter "pool.tasks_cancelled"
 
+(* Duration of every task that ran to completion, pooled and inline
+   alike. Only successes are observed, so the histogram's count equals
+   tasks_claimed minus failures for every jobs value — the sum-
+   consistency test in test_obs.ml leans on that. *)
+let h_task_ns = Dut_obs.Metrics.histogram "pool.task_ns"
+
 (* Per-domain nesting depth: > 0 while executing a pool task. Used to
    route nested parallel calls to the inline sequential path instead of
    blocking a worker on its own pool. *)
@@ -102,7 +108,10 @@ let drain t j =
     | None -> ()
     | Some i ->
         Dut_obs.Metrics.incr m_tasks_claimed;
-        (try run_task j i
+        let started = Dut_obs.Span.now_ns () in
+        (try
+           run_task j i;
+           Dut_obs.Metrics.observe h_task_ns (Dut_obs.Span.now_ns () - started)
          with e -> fail e (Printexc.get_raw_backtrace ()));
         finish ();
         go ()
@@ -192,7 +201,9 @@ let run_inline ~tasks f =
         while !i < tasks do
           Deadline.check ();
           Dut_obs.Metrics.incr m_tasks_claimed;
+          let started = Dut_obs.Span.now_ns () in
           f !i;
+          Dut_obs.Metrics.observe h_task_ns (Dut_obs.Span.now_ns () - started);
           incr i
         done
       with e ->

@@ -65,13 +65,20 @@ let header ~key ~id ~seconds ~bytes =
    `dut obs-report`, which warns when it is non-zero. *)
 let m_write_failures = Dut_obs.Metrics.counter "checkpoint.write_failures"
 
+(* Successful atomic publications only; failures are already counted
+   above, and timing them would mix two different populations. *)
+let h_write_ns = Dut_obs.Metrics.histogram "checkpoint.write_ns"
+
 let save ~dir ~key ~id ~seconds output =
   let content =
     Dut_obs.Json.to_string
       (header ~key ~id ~seconds ~bytes:(String.length output))
     ^ "\n" ^ output
   in
-  try Dut_obs.Manifest.write_atomic ~path:(path ~dir id) content
+  let started = Dut_obs.Span.now_ns () in
+  try
+    Dut_obs.Manifest.write_atomic ~path:(path ~dir id) content;
+    Dut_obs.Metrics.observe h_write_ns (Dut_obs.Span.now_ns () - started)
   with Sys_error msg ->
     Dut_obs.Metrics.incr m_write_failures;
     Printf.eprintf "dut: cannot write checkpoint for %s: %s\n%!" id msg

@@ -1,0 +1,148 @@
+(* HDR-style log2 histogram over non-negative integers.
+
+   Values 0..15 land in exact unit buckets. Every larger value lands in
+   one of 16 sub-buckets of its octave [2^m, 2^(m+1)): the sub-bucket
+   index is the 4 bits below the leading bit, so relative resolution is
+   bounded by 1/16 everywhere. The bucket array is a plain dense
+   [int array]; merge is pointwise sum, which is exactly associative
+   and commutative — the property the per-domain Metrics tables rely on
+   to make snapshots independent of the merge order at pool join.
+
+   59 octaves cover every OCaml native int (up to 2^62), so [record]
+   never needs a range check beyond clamping negatives to 0. *)
+
+let sub_bits = 4
+let subs = 16
+let octaves = 59
+let buckets = subs + (octaves * subs)
+
+type t = { counts : int array }
+
+let create () = { counts = Array.make buckets 0 }
+let copy t = { counts = Array.copy t.counts }
+let clear t = Array.fill t.counts 0 buckets 0
+
+(* Index of the highest set bit; [v >= 1]. *)
+let msb v =
+  let v = ref v and r = ref 0 in
+  if !v lsr 32 <> 0 then (
+    r := !r + 32;
+    v := !v lsr 32);
+  if !v lsr 16 <> 0 then (
+    r := !r + 16;
+    v := !v lsr 16);
+  if !v lsr 8 <> 0 then (
+    r := !r + 8;
+    v := !v lsr 8);
+  if !v lsr 4 <> 0 then (
+    r := !r + 4;
+    v := !v lsr 4);
+  if !v lsr 2 <> 0 then (
+    r := !r + 2;
+    v := !v lsr 2);
+  if !v lsr 1 <> 0 then incr r;
+  !r
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  if v < subs then v
+  else
+    (* Octave 1 is [16, 32): [m - sub_bits] is 1-based exactly like the
+       octave recovered by [bucket_lo]'s [1 + (b - subs) / subs]. *)
+    let m = msb v in
+    let octave = m - sub_bits + 1 in
+    let sub = (v lsr (m - sub_bits)) land (subs - 1) in
+    subs + ((octave - 1) * subs) + sub
+
+let bucket_lo b =
+  if b < 0 then invalid_arg "Histogram.bucket_lo";
+  if b < subs then b
+  else
+    let octave = 1 + ((b - subs) / subs) and sub = (b - subs) mod subs in
+    (subs + sub) lsl (octave - 1)
+
+let bucket_hi b =
+  if b < subs then b
+  else
+    let octave = 1 + ((b - subs) / subs) in
+    bucket_lo b + (1 lsl (octave - 1)) - 1
+
+let record t v =
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1
+
+let count t = Array.fold_left ( + ) 0 t.counts
+let is_empty t = count t = 0
+
+let merge_into ~into src =
+  for b = 0 to buckets - 1 do
+    into.counts.(b) <- into.counts.(b) + src.counts.(b)
+  done
+
+let merge a b =
+  let t = copy a in
+  merge_into ~into:t b;
+  t
+
+(* [newer] minus [older], for interval stats (e.g. one service batch out
+   of a session-long histogram). Clamped at zero so a snapshot pair read
+   without mutual exclusion can never produce negative counts. *)
+let diff newer older =
+  let t = create () in
+  for b = 0 to buckets - 1 do
+    t.counts.(b) <- max 0 (newer.counts.(b) - older.counts.(b))
+  done;
+  t
+
+let equal a b = a.counts = b.counts
+
+(* Smallest bucket whose cumulative count reaches rank ceil(q*n): the
+   bucket holding the exact q-quantile of the recorded multiset, so the
+   exact quantile always lies within [bucket_lo b, bucket_hi b]. *)
+let quantile_bucket t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Histogram.quantile_bucket";
+  let n = count t in
+  if n = 0 then None
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    let rec go b acc =
+      let acc = acc + t.counts.(b) in
+      if acc >= rank then b else go (b + 1) acc
+    in
+    Some (go 0 0)
+
+let quantile t q =
+  match quantile_bucket t q with
+  | None -> None
+  | Some b -> Some ((bucket_lo b + bucket_hi b) / 2)
+
+(* Upper bound of the highest non-empty bucket: a conservative (never
+   under-reporting) estimate of the largest recorded value. *)
+let max_value t =
+  let rec go b = if b < 0 then None else if t.counts.(b) > 0 then Some (bucket_hi b) else go (b - 1) in
+  go (buckets - 1)
+
+let sum_estimate t =
+  let acc = ref 0 in
+  for b = 0 to buckets - 1 do
+    if t.counts.(b) > 0 then acc := !acc + (t.counts.(b) * ((bucket_lo b + bucket_hi b) / 2))
+  done;
+  !acc
+
+let q_or_zero t q = match quantile t q with Some v -> v | None -> 0
+
+let summary_json t =
+  let n = count t in
+  if n = 0 then Json.Obj [ ("count", Json.Num 0.) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int n));
+        ("p50", Json.Num (float_of_int (q_or_zero t 0.5)));
+        ("p90", Json.Num (float_of_int (q_or_zero t 0.9)));
+        ("p95", Json.Num (float_of_int (q_or_zero t 0.95)));
+        ("p99", Json.Num (float_of_int (q_or_zero t 0.99)));
+        ( "max",
+          Json.Num (float_of_int (match max_value t with Some v -> v | None -> 0)) );
+      ]

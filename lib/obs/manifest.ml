@@ -36,6 +36,13 @@ let make ~command ~profile ~seed ~jobs ~jobs_requested ~adaptive ~warm_start
           | Metrics.Value f -> Json.Num f ))
       (Metrics.snapshot ())
   in
+  let histograms =
+    List.filter_map
+      (fun (name, h) ->
+        if Histogram.is_empty h then None
+        else Some (name, Histogram.summary_json h))
+      (Metrics.histogram_snapshot ())
+  in
   let experiment e =
     Json.Obj
       ([
@@ -48,7 +55,7 @@ let make ~command ~profile ~seed ~jobs ~jobs_requested ~adaptive ~warm_start
   in
   Json.Obj
     ([
-       ("schema", Json.Str "dut-manifest/2");
+       ("schema", Json.Str "dut-manifest/3");
        ("command", Json.Str command);
        ("status", Json.Str (run_status experiments));
        ("profile", Json.Str profile);
@@ -71,6 +78,7 @@ let make ~command ~profile ~seed ~jobs ~jobs_requested ~adaptive ~warm_start
         ("cpu_seconds", Json.Num cpu_seconds);
         ("experiments", Json.Arr (List.map experiment experiments));
         ("counters", Json.Obj counters);
+        ("histograms", Json.Obj histograms);
       ])
 
 (* Two-space-indented rendering: the manifest is meant to be opened by

@@ -2,7 +2,7 @@
     what cost, under which code — and whether each experiment actually
     finished.
 
-    Schema ([dut-manifest/2]): [command], [status] (the run as a whole:
+    Schema ([dut-manifest/3]): [command], [status] (the run as a whole:
     ["ok"] | ["failed"] | ["interrupted"], interruption dominating
     failure), [profile], [seed], [jobs] (the {e effective} parallelism
     after the {!Dut_engine.Pool.effective_jobs} clamp) plus
@@ -12,9 +12,12 @@
     per-experiment time over the work {e executed this run} — exceeds
     wall time under [--jobs]), [experiments] (array of
     [{id, seconds, status, resumed, error?}] in registry order; [error]
-    only on failed entries) and [counters] (the final
-    {!Metrics.snapshot}; counter totals for the jobs-invariant metrics
-    are bit-equal across [--jobs] values, see [doc/observability.md]).
+    only on failed entries), [counters] (the final {!Metrics.snapshot};
+    counter totals for the jobs-invariant metrics are bit-equal across
+    [--jobs] values, see [doc/observability.md]) and [histograms] (one
+    {!Histogram.summary_json} object per non-empty registered histogram
+    — [pool.task_ns], [checkpoint.write_ns], … — merged across domains;
+    new in /3).
 
     A run cut short by SIGINT/SIGTERM still writes a {e valid} partial
     manifest: completed experiments carry [status "ok"], never-started

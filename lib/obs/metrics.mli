@@ -45,6 +45,26 @@ val gauge : string -> gauge
 
 val set_gauge : gauge -> float -> unit
 
+type hist
+
+val histogram : string -> hist
+(** Register (or look up) the histogram [name]. Idempotent, like
+    {!counter}. *)
+
+val observe : hist -> int -> unit
+(** Record one observation into the calling domain's own
+    {!Histogram.t}. Same concurrency story as {!add}: no locks on the
+    hot path, the per-domain instance is created lazily on first use. *)
+
+val histogram_snapshot : unit -> (string * Histogram.t) list
+(** Every registered histogram, sorted by name, merged across all
+    domains that ever observed into it (including terminated ones).
+    Exact at quiescence; mid-flight it is stale but never corrupt —
+    the merge is pointwise over plain int buckets. *)
+
+val histogram_value : string -> Histogram.t
+(** The merged histogram for [name]; empty if never registered. *)
+
 type value = Count of int | Value of float
 
 val snapshot : unit -> (string * value) list
@@ -57,7 +77,8 @@ val value : string -> int
 (** The summed total of counter [name]; 0 if never registered. *)
 
 val reset : unit -> unit
-(** Zero every counter on every domain and clear every gauge. Intended
+(** Zero every counter and histogram on every domain and clear every
+    gauge. Intended
     for harnesses that measure deltas around a quiescent region (the
     bench legs, the tests); calling it while pool tasks are running
     would race with their increments. *)
@@ -65,4 +86,5 @@ val reset : unit -> unit
 val dump : out_channel -> unit
 (** Print the snapshot as an aligned [name value] table — the
     [--metrics] output of the binaries. Gauges print with [%g],
-    counters as integers. *)
+    counters as integers; non-empty histograms follow as one
+    [count=… p50=… … max<=…] summary line each. *)

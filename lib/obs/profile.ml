@@ -1,0 +1,163 @@
+(* Offline analysis of Span trace files: linting, per-name self-time
+   aggregation, and folded-stack export for flamegraph tooling.
+
+   Self time of a span is its duration minus the summed durations of
+   its direct children. Parent links only exist within a domain (see
+   Span), so an experiment span running as a pool task is a root and
+   its time is attributed to itself, not double-counted under the
+   submitting domain's run-all span. Summed self time over all spans
+   therefore equals summed root durations — the "summed CPU" a manifest
+   reports, up to the instants outside any span. *)
+
+type span = {
+  id : int;
+  name : string;
+  parent : int;  (* -1 when root *)
+  domain : int;
+  start_ns : int;
+  dur_ns : int;
+  raised : bool;
+}
+
+type read_result = {
+  spans : span list;  (* file order *)
+  truncated : bool;  (* last line has no terminating newline *)
+}
+
+let span_of_json j =
+  let num k = int_of_float (Json.want_num j k) in
+  {
+    id = num "span";
+    name = Json.want_str j "name";
+    parent = (match Json.field j "parent" with Json.Null -> -1 | _ -> num "parent");
+    domain = num "domain";
+    start_ns = num "start_ns";
+    dur_ns = num "dur_ns";
+    raised =
+      (match Json.field_opt j "raised" with Some (Json.Bool b) -> b | _ -> false);
+  }
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents ->
+      let n = String.length contents in
+      let truncated = n > 0 && contents.[n - 1] <> '\n' in
+      let lines = String.split_on_char '\n' contents in
+      (* A trailing newline leaves one empty tail element; a truncated
+         file leaves the partial line there instead — drop it either
+         way, it is not a parseable span. *)
+      let lines =
+        match List.rev lines with [] -> [] | _ :: rest -> List.rev rest
+      in
+      let rec parse acc lineno = function
+        | [] -> Ok { spans = List.rev acc; truncated }
+        | "" :: rest -> parse acc (lineno + 1) rest
+        | line :: rest -> (
+            match span_of_json (Json.parse line) with
+            | s -> parse (s :: acc) (lineno + 1) rest
+            | exception _ ->
+                Error (Printf.sprintf "line %d: malformed span record" lineno))
+      in
+      parse [] 1 lines
+
+(* -- Aggregation --------------------------------------------------------- *)
+
+type agg = {
+  agg_name : string;
+  count : int;
+  total_ns : int;
+  self_ns : int;
+  max_ns : int;
+}
+
+let self_times spans =
+  let child_ns = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      if s.parent >= 0 then
+        let prev = match Hashtbl.find_opt child_ns s.parent with Some v -> v | None -> 0 in
+        Hashtbl.replace child_ns s.parent (prev + s.dur_ns))
+    spans;
+  List.map
+    (fun s ->
+      let children = match Hashtbl.find_opt child_ns s.id with Some v -> v | None -> 0 in
+      (s, max 0 (s.dur_ns - children)))
+    spans
+
+let aggregate spans =
+  let by_name : (string, agg) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s, self) ->
+      let a =
+        match Hashtbl.find_opt by_name s.name with
+        | Some a -> a
+        | None -> { agg_name = s.name; count = 0; total_ns = 0; self_ns = 0; max_ns = 0 }
+      in
+      Hashtbl.replace by_name s.name
+        {
+          a with
+          count = a.count + 1;
+          total_ns = a.total_ns + s.dur_ns;
+          self_ns = a.self_ns + self;
+          max_ns = max a.max_ns s.dur_ns;
+        })
+    (self_times spans);
+  let all = Hashtbl.fold (fun _ a acc -> a :: acc) by_name [] in
+  List.sort
+    (fun a b ->
+      match compare b.self_ns a.self_ns with
+      | 0 -> String.compare a.agg_name b.agg_name
+      | c -> c)
+    all
+
+let total_self_ns ?(except = []) spans =
+  List.fold_left
+    (fun acc (s, self) -> if List.mem s.name except then acc else acc + self)
+    0 (self_times spans)
+
+(* Trace extent: max end minus min start over every span. *)
+let wall_ns spans =
+  match spans with
+  | [] -> 0
+  | s0 :: _ ->
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) s -> (min lo s.start_ns, max hi (s.start_ns + s.dur_ns)))
+          (s0.start_ns, s0.start_ns + s0.dur_ns)
+          spans
+      in
+      hi - lo
+
+(* -- Folded stacks ------------------------------------------------------- *)
+
+(* One "root;child;leaf self_ns" line per distinct stack, self times
+   summed, sorted by stack string — the input format of standard
+   flamegraph renderers. *)
+let folded spans =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
+  let stack_of s =
+    let rec climb acc s =
+      match if s.parent >= 0 then Hashtbl.find_opt by_id s.parent else None with
+      | Some p -> climb (s.name :: acc) p
+      | None -> s.name :: acc
+    in
+    String.concat ";" (climb [] s)
+  in
+  let tally = Hashtbl.create 64 in
+  List.iter
+    (fun (s, self) ->
+      if self > 0 then
+        let k = stack_of s in
+        let prev = match Hashtbl.find_opt tally k with Some v -> v | None -> 0 in
+        Hashtbl.replace tally k (prev + self))
+    (self_times spans);
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])

@@ -1,0 +1,55 @@
+(** Offline analysis of {!Span} trace files: reading/linting,
+    per-span-name self-time aggregation, and folded-stack export.
+
+    {e Self time} = a span's duration minus the summed durations of its
+    direct children (floored at 0). Parent links exist only within a
+    domain, so pool-task spans are roots: summed self time over a trace
+    approximates the summed CPU seconds the run's manifest reports
+    (subtract the [run-all] umbrella span's self when experiments run
+    on the submitting domain — [dut obs-report --profile] does). *)
+
+type span = {
+  id : int;
+  name : string;
+  parent : int;  (** [-1] when root *)
+  domain : int;
+  start_ns : int;
+  dur_ns : int;
+  raised : bool;
+}
+
+type read_result = {
+  spans : span list;  (** in file order *)
+  truncated : bool;
+      (** the file's last line has no terminating newline — evidence of
+          a crash mid-write *)
+}
+
+val read_file : string -> (read_result, string) result
+(** Parse a trace file. [Error] carries a message for an unreadable
+    file or a malformed complete line; a partial {e final} line is not
+    an error — it is reported via [truncated] with every complete span
+    still returned. An empty file yields [Ok] with no spans. *)
+
+type agg = {
+  agg_name : string;
+  count : int;
+  total_ns : int;
+  self_ns : int;
+  max_ns : int;  (** largest single duration *)
+}
+
+val aggregate : span list -> agg list
+(** Per-name totals, sorted by self time descending (name as
+    tie-break). *)
+
+val total_self_ns : ?except:string list -> span list -> int
+(** Summed self time, excluding spans whose name is in [except]. *)
+
+val wall_ns : span list -> int
+(** Trace extent: latest span end minus earliest span start. *)
+
+val folded : span list -> (string * int) list
+(** Folded-stack lines [("root;child;leaf", self_ns)], self times
+    summed per distinct stack, sorted by stack — the input format of
+    standard flamegraph tooling. Zero-self stacks are omitted. *)

@@ -1,0 +1,135 @@
+(* A background sampler domain appending periodic JSONL snapshots of
+   the metrics registry and the GC to a timeline file.
+
+   Strictly out of band, like Span: the sampler only *reads* shared
+   state (counter tables, gauges, histograms, Gc.quick_stat), so running
+   it can never perturb results or stdout. Mid-flight reads of the
+   per-domain tables are stale-but-not-corrupt (see the Metrics
+   preamble); for a flow metric a stale read just shifts a little volume
+   to the next tick's delta.
+
+   File format (dut-timeline/1): a header object, then one object per
+   tick. Counters and GC words are emitted as deltas against the
+   previous tick (zero deltas omitted), gauges as absolute values,
+   histograms as absolute summaries, heap_words as an absolute level. *)
+
+let default_path = Filename.concat "results" "timeline.jsonl"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+type sampler = { stop : bool Atomic.t; domain : unit Domain.t }
+
+let lock = Mutex.create ()
+let active : sampler option ref = ref None
+
+let counter_deltas ~prev snap =
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Metrics.Count c ->
+          let before = match Hashtbl.find_opt prev name with Some b -> b | None -> 0 in
+          Hashtbl.replace prev name c;
+          if c <> before then Some (name, Json.Num (float_of_int (c - before)))
+          else None
+      | Metrics.Value _ -> None)
+    snap
+
+let gauge_values snap =
+  List.filter_map
+    (fun (name, v) ->
+      match v with Metrics.Value f -> Some (name, Json.Num f) | Metrics.Count _ -> None)
+    snap
+
+let sample ~prev ~prev_gc () =
+  let t = Span.now_ns () in
+  let gc = Gc.quick_stat () in
+  let pminor, pmajor = !prev_gc in
+  prev_gc := (gc.Gc.minor_words, gc.Gc.major_words);
+  let snap = Metrics.snapshot () in
+  let hists =
+    List.filter_map
+      (fun (name, h) ->
+        if Histogram.is_empty h then None else Some (name, Histogram.summary_json h))
+      (Metrics.histogram_snapshot ())
+  in
+  Json.Obj
+    [
+      ("t_ns", Json.Num (float_of_int t));
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", Json.Num (gc.Gc.minor_words -. pminor));
+            ("major_words", Json.Num (gc.Gc.major_words -. pmajor));
+            ("heap_words", Json.Num (float_of_int gc.Gc.heap_words));
+          ] );
+      ("counters", Json.Obj (counter_deltas ~prev snap));
+      ("gauges", Json.Obj (gauge_values snap));
+      ("histograms", Json.Obj hists);
+    ]
+
+let run ~path ~interval_ms stop =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  let emit j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc
+  in
+  let gc0 = Gc.quick_stat () in
+  emit
+    (Json.Obj
+       [
+         ("schema", Json.Str "dut-timeline/1");
+         ("interval_ms", Json.Num (float_of_int interval_ms));
+         ("started_ns", Json.Num (float_of_int (Span.now_ns ())));
+       ]);
+  let prev = Hashtbl.create 32 in
+  let prev_gc = ref (gc0.Gc.minor_words, gc0.Gc.major_words) in
+  (* Sleep in short slices so [stop] never waits longer than ~50ms even
+     under a coarse interval. *)
+  let rec pause remaining_ms =
+    if remaining_ms > 0 && not (Atomic.get stop) then begin
+      Unix.sleepf (float_of_int (min remaining_ms 50) /. 1000.);
+      pause (remaining_ms - 50)
+    end
+  in
+  let rec loop () =
+    pause interval_ms;
+    emit (sample ~prev ~prev_gc ());
+    if not (Atomic.get stop) then loop ()
+  in
+  (try loop () with _ -> ());
+  close_out_noerr oc
+
+let start ?(path = default_path) ~interval_ms () =
+  if interval_ms < 1 then invalid_arg "Timeline.start: interval_ms < 1";
+  Mutex.lock lock;
+  let already = !active <> None in
+  if not already then begin
+    let stop = Atomic.make false in
+    let domain = Domain.spawn (fun () -> run ~path ~interval_ms stop) in
+    active := Some { stop; domain }
+  end;
+  Mutex.unlock lock;
+  if already then invalid_arg "Timeline.start: sampler already running"
+
+let stop () =
+  Mutex.lock lock;
+  let s = !active in
+  active := None;
+  Mutex.unlock lock;
+  match s with
+  | None -> ()
+  | Some { stop; domain } ->
+      Atomic.set stop true;
+      Domain.join domain
+
+let enabled () =
+  Mutex.lock lock;
+  let on = !active <> None in
+  Mutex.unlock lock;
+  on

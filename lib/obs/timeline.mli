@@ -1,0 +1,34 @@
+(** Periodic run-timeline sampling to a JSONL file ([dut-timeline/1]).
+
+    {!start} spawns one background domain that appends a snapshot line
+    every [interval_ms]: counter deltas since the previous tick, gauge
+    values, histogram summaries, and [Gc.quick_stat] minor/major word
+    deltas. Pool utilization falls out of the [pool.idle_ns] counter
+    deltas. {!stop} signals the sampler, waits for it to emit one final
+    line, and joins it — so even a run shorter than the interval gets at
+    least one sample.
+
+    Sampling is strictly out of band: the sampler only reads, so stdout
+    and results are byte-identical with it on or off. Mid-flight reads
+    of the per-domain metric tables are stale but never corrupt (see
+    {!Metrics}).
+
+    File layout: a header object
+    [{"schema":"dut-timeline/1","interval_ms":..,"started_ns":..}]
+    followed by one object per tick with [t_ns], [gc], [counters]
+    (non-zero deltas), [gauges], and [histograms] members. Rendered by
+    [dut obs-report --timeline]. *)
+
+val default_path : string
+(** [results/timeline.jsonl]. *)
+
+val start : ?path:string -> interval_ms:int -> unit -> unit
+(** Truncate [path] (default {!default_path}, parent directories
+    created) and begin sampling. Raises [Invalid_argument] if a sampler
+    is already running or [interval_ms < 1]. *)
+
+val stop : unit -> unit
+(** Stop and join the sampler, flushing a final sample. No-op when none
+    is running. *)
+
+val enabled : unit -> bool

@@ -12,6 +12,13 @@ let m_evictions = Dut_obs.Metrics.counter "cache.evictions"
 
 let m_write_failures = Dut_obs.Metrics.counter "cache.write_failures"
 
+(* Lookup and persist latency, hit or miss: the cost of asking the
+   cache is what a caller pays either way, and the disk tier dominating
+   p99 is exactly what these exist to make visible. *)
+let h_load_ns = Dut_obs.Metrics.histogram "memo.load_ns"
+
+let h_store_ns = Dut_obs.Metrics.histogram "memo.store_ns"
+
 type entry = { payload : string; mutable last_use : int }
 
 type t = {
@@ -113,22 +120,29 @@ let disk_store ~dir ~key payload =
 (* -- Public API --------------------------------------------------------- *)
 
 let find t ~key =
-  match Hashtbl.find_opt t.table key with
-  | Some e ->
-      touch t e;
-      Dut_obs.Metrics.incr m_hits;
-      Some e.payload
-  | None -> (
-      match Option.bind t.dir (fun dir -> disk_find ~dir key) with
-      | Some payload ->
-          put_front t ~key payload;
-          Dut_obs.Metrics.incr m_hits;
-          Some payload
-      | None ->
-          Dut_obs.Metrics.incr m_misses;
-          None)
+  let started = Dut_obs.Span.now_ns () in
+  let result =
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+        touch t e;
+        Dut_obs.Metrics.incr m_hits;
+        Some e.payload
+    | None -> (
+        match Option.bind t.dir (fun dir -> disk_find ~dir key) with
+        | Some payload ->
+            put_front t ~key payload;
+            Dut_obs.Metrics.incr m_hits;
+            Some payload
+        | None ->
+            Dut_obs.Metrics.incr m_misses;
+            None)
+  in
+  Dut_obs.Metrics.observe h_load_ns (Dut_obs.Span.now_ns () - started);
+  result
 
 let store t ~key payload =
+  let started = Dut_obs.Span.now_ns () in
   Dut_obs.Metrics.incr m_stores;
   put_front t ~key payload;
-  match t.dir with Some dir -> disk_store ~dir ~key payload | None -> ()
+  (match t.dir with Some dir -> disk_store ~dir ~key payload | None -> ());
+  Dut_obs.Metrics.observe h_store_ns (Dut_obs.Span.now_ns () - started)

@@ -21,6 +21,24 @@ let m_errors = Dut_obs.Metrics.counter "service.errors"
 
 let m_rejected = Dut_obs.Metrics.counter "service.rejected"
 
+(* Per-request service latency, cache hits and misses alike: the
+   distribution a client actually experiences. The sharding decision
+   the ROADMAP gates on reads the p95/p99 of exactly this histogram. *)
+let h_request_ns = Dut_obs.Metrics.histogram "service.request_ns"
+
+(* Statistics of the most recent batch, for the dut-service/2 summary.
+   Written by handle_batch on the submitting domain and read when the
+   summary is assembled (same domain in the serve loop), so a plain ref
+   suffices. *)
+type batch_stats = {
+  b_requests : int;
+  b_seconds : float;
+  b_hits : int;
+  b_latency : Dut_obs.Histogram.t;
+}
+
+let last_batch : batch_stats option ref = ref None
+
 let kind_of (r : Query.request) =
   match r.query with
   | Error _ -> "invalid"
@@ -82,21 +100,40 @@ let handle_batch ?cache ?deadline_s ?(stamp = "") ~jobs
   in
   let work i =
     let r = requests.(i) in
-    Dut_obs.Span.with_ ~name:"service.request"
-      ~attrs:
-        [
-          ("id", J.int r.Query.id);
-          ("kind", J.Str (kind_of r));
-          ("cached", J.Bool (cached.(i) <> None));
-        ]
-      (fun () ->
-        match cached.(i) with Some payload -> payload | None -> evaluate r)
+    let started = Dut_obs.Span.now_ns () in
+    let payload =
+      Dut_obs.Span.with_ ~name:"service.request"
+        ~attrs:
+          [
+            ("id", J.int r.Query.id);
+            ("kind", J.Str (kind_of r));
+            ("cached", J.Bool (cached.(i) <> None));
+          ]
+        (fun () ->
+          match cached.(i) with Some payload -> payload | None -> evaluate r)
+    in
+    Dut_obs.Metrics.observe h_request_ns (Dut_obs.Span.now_ns () - started);
+    payload
   in
+  let latency_before = Dut_obs.Metrics.histogram_value "service.request_ns" in
+  let batch_started = Dut_obs.Span.now_ns () in
   let payloads =
     Dut_obs.Span.with_ ~name:"service.batch"
       ~attrs:[ ("requests", J.int n); ("jobs", J.int jobs) ]
       (fun () -> Dut_engine.Parallel.map ~jobs work (Array.init n Fun.id))
   in
+  last_batch :=
+    Some
+      {
+        b_requests = n;
+        b_seconds =
+          float_of_int (Dut_obs.Span.now_ns () - batch_started) /. 1e9;
+        b_hits = Array.fold_left (fun acc c -> if c <> None then acc + 1 else acc) 0 cached;
+        b_latency =
+          Dut_obs.Histogram.diff
+            (Dut_obs.Metrics.histogram_value "service.request_ns")
+            latency_before;
+      };
   (* Only fresh ok answers are published to the cache: error responses
      (bad query, deadline, raise) must be recomputed next time — a
      transient failure memoized forever would violate the "cached =
@@ -117,6 +154,11 @@ let handle_batch ?cache ?deadline_s ?(stamp = "") ~jobs
 
 (* -- Session summary ---------------------------------------------------- *)
 
+let ratio hits misses =
+  let total = hits + misses in
+  if total = 0 then J.Null
+  else J.Num (float_of_int hits /. float_of_int total)
+
 let summary ~config ~status ~git ~created_unix ~started_ns =
   let count name = J.int (Dut_obs.Metrics.value name) in
   let counters =
@@ -128,24 +170,63 @@ let summary ~config ~status ~git ~created_unix ~started_ns =
           | Dut_obs.Metrics.Value f -> J.Num f ))
       (Dut_obs.Metrics.snapshot ())
   in
+  let histograms =
+    List.filter_map
+      (fun (name, h) ->
+        if Dut_obs.Histogram.is_empty h then None
+        else Some (name, Dut_obs.Histogram.summary_json h))
+      (Dut_obs.Metrics.histogram_snapshot ())
+  in
+  let uptime_seconds =
+    float_of_int (Dut_obs.Span.now_ns () - started_ns) /. 1e9
+  in
+  let requests = Dut_obs.Metrics.value "service.requests" in
+  let last_batch_json =
+    match !last_batch with
+    | None -> J.Null
+    | Some b ->
+        J.Obj
+          [
+            ("requests", J.int b.b_requests);
+            ("seconds", J.Num b.b_seconds);
+            ( "qps",
+              if b.b_seconds > 0. then
+                J.Num (float_of_int b.b_requests /. b.b_seconds)
+              else J.Null );
+            ("latency_ns", Dut_obs.Histogram.summary_json b.b_latency);
+            ("cache_hit_ratio", ratio b.b_hits (b.b_requests - b.b_hits));
+          ]
+  in
   J.Obj
     [
-      ("schema", J.Str "dut-service/1");
+      ("schema", J.Str "dut-service/2");
       ("command", J.Str "serve");
       ("status", J.Str status);
       ("socket", J.Str config.socket);
       ("jobs", J.int config.jobs);
       ("git", J.Str git);
       ("created_unix", J.Num created_unix);
-      ( "uptime_seconds",
-        J.Num (float_of_int (Dut_obs.Span.now_ns () - started_ns) /. 1e9) );
+      ("uptime_seconds", J.Num uptime_seconds);
       ("requests", count "service.requests");
       ("batches", count "service.batches");
       ("cache_hits", count "cache.hits");
       ("cache_misses", count "cache.misses");
       ("errors", count "service.errors");
       ("rejected", count "service.rejected");
+      ( "qps",
+        if uptime_seconds > 0. then
+          J.Num (float_of_int requests /. uptime_seconds)
+        else J.Null );
+      ( "latency_ns",
+        Dut_obs.Histogram.summary_json
+          (Dut_obs.Metrics.histogram_value "service.request_ns") );
+      ( "cache_hit_ratio",
+        ratio
+          (Dut_obs.Metrics.value "cache.hits")
+          (Dut_obs.Metrics.value "cache.misses") );
+      ("last_batch", last_batch_json);
       ("counters", J.Obj counters);
+      ("histograms", J.Obj histograms);
     ]
 
 let write_summary ~config ~status ~git ~created_unix ~started_ns =

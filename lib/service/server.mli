@@ -30,12 +30,19 @@
       writes the final session summary and returns normally (the CLI
       exits 0); a second signal force-exits.
 
-    The session summary ([summary_path], schema [dut-service/1]) is
+    The session summary ([summary_path], schema [dut-service/2]) is
     rewritten atomically after every batch, so a live server can be
-    inspected with [dut obs-report --manifest] at any time. Spans
-    ([service.batch], [service.request]) go to the {!Dut_obs.Span} sink
-    when one is open; counters ([service.requests], [service.batches],
-    [service.errors], [service.rejected], [cache.*]) always tally. *)
+    inspected with [dut obs-report --manifest] at any time. Beyond the
+    session counters it carries [qps] (requests over uptime),
+    [latency_ns] (the {!Dut_obs.Histogram.summary_json} of
+    [service.request_ns]: p50/p90/p95/p99/max per-request latency),
+    [cache_hit_ratio], and [last_batch] — the same quartet computed for
+    the most recent batch alone, from the histogram delta across it.
+    Spans ([service.batch], [service.request]) go to the
+    {!Dut_obs.Span} sink when one is open; counters
+    ([service.requests], [service.batches], [service.errors],
+    [service.rejected], [cache.*]) and the latency histograms always
+    tally. *)
 
 type config = {
   socket : string;  (** path of the Unix-domain socket to bind *)

@@ -39,11 +39,17 @@ let create ?jobs ~chunk ~on_chunk cfg =
     flushed = false;
   }
 
+(* Time every chunk sketched, full (pooled drain) and partial tail
+   (flush) alike: one histogram observation per on_chunk emission. *)
+let h_chunk_ns = Dut_obs.Metrics.histogram "ingest.chunk_ns"
+
 let sketch_range t lo hi =
+  let started = Dut_obs.Span.now_ns () in
   let sk = Sketch.create t.cfg in
   for i = lo to hi - 1 do
     Sketch.add sk t.buf.(i)
   done;
+  Dut_obs.Metrics.observe h_chunk_ns (Dut_obs.Span.now_ns () - started);
   sk
 
 (* Sketch every full chunk currently buffered (concurrently: chunks are

@@ -122,6 +122,132 @@ let test_jobs_invariant_tallies () =
   Alcotest.(check bool) "trials were spent" true (t1 > 0);
   Alcotest.(check bool) "probes were spent" true (p1 > 0)
 
+(* -- Histograms -------------------------------------------------------- *)
+
+let hist_of_list vs =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) vs;
+  h
+
+let prop_hist_merge_assoc_comm =
+  QCheck.Test.make ~name:"histogram merge is associative and commutative"
+    ~count:200
+    QCheck.(triple (list int) (list int) (list int))
+    (fun (xs, ys, zs) ->
+      let a = hist_of_list xs and b = hist_of_list ys and c = hist_of_list zs in
+      Histogram.equal
+        (Histogram.merge a (Histogram.merge b c))
+        (Histogram.merge (Histogram.merge a b) c)
+      && Histogram.equal (Histogram.merge a b) (Histogram.merge b a)
+      && Histogram.equal
+           (Histogram.merge a b)
+           (hist_of_list (xs @ ys)))
+
+let prop_hist_buckets_bracket =
+  QCheck.Test.make
+    ~name:"bucket_of is monotone and lo <= v <= hi brackets every value"
+    ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+    (fun (v1, v2) ->
+      let lo_v = min v1 v2 and hi_v = max v1 v2 in
+      let b = Histogram.bucket_of lo_v in
+      Histogram.bucket_of lo_v <= Histogram.bucket_of hi_v
+      && Histogram.bucket_lo b <= lo_v
+      && lo_v <= Histogram.bucket_hi b)
+
+let prop_hist_quantile_brackets_exact =
+  QCheck.Test.make
+    ~name:"quantile bucket brackets the exact sorted-sample quantile"
+    ~count:300
+    QCheck.(pair
+              (list_of_size Gen.(int_range 1 200) (int_bound 10_000_000))
+              (float_range 0. 1.))
+    (fun (vs, q) ->
+      let h = hist_of_list vs in
+      let sorted = List.sort compare vs in
+      let n = List.length vs in
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int n)) in
+        if r < 1 then 1 else if r > n then n else r
+      in
+      let exact = List.nth sorted (rank - 1) in
+      match Histogram.quantile_bucket h q with
+      | None -> false
+      | Some b ->
+          Histogram.bucket_lo b <= exact && exact <= Histogram.bucket_hi b)
+
+let test_histogram_small_values_exact () =
+  (* Values 0..15 are unit buckets: quantiles there are exact, and the
+     summary carries the exact count and max. *)
+  let h = hist_of_list [ 3; 3; 7; 12 ] in
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check int) "p50 exact" 3 (Histogram.q_or_zero h 0.5);
+  Alcotest.(check int) "p99 exact" 12 (Histogram.q_or_zero h 0.99);
+  Alcotest.(check (option int)) "max" (Some 12) (Histogram.max_value h);
+  (* diff is the interval statistic between two snapshots. *)
+  let later = Histogram.copy h in
+  Histogram.record later 7;
+  Histogram.record later 100;
+  let d = Histogram.diff later h in
+  Alcotest.(check int) "diff count" 2 (Histogram.count d);
+  Alcotest.(check int) "reverse diff clamps to empty" 0
+    (Histogram.count (Histogram.diff h later));
+  (* Negative observations clamp to bucket 0. *)
+  let neg = hist_of_list [ -5 ] in
+  Alcotest.(check int) "negative clamps" 0 (Histogram.q_or_zero neg 1.0);
+  (* Empty summary is the bare count. *)
+  Alcotest.check json "empty summary"
+    (Json.Obj [ ("count", Json.Num 0.) ])
+    (Histogram.summary_json (Histogram.create ()))
+
+let pool_task_hist_delta ~jobs ~tasks =
+  let before = Histogram.count (Metrics.histogram_value "pool.task_ns") in
+  let pool = Dut_engine.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Dut_engine.Pool.shutdown pool) @@ fun () ->
+  Dut_engine.Pool.run pool ~tasks (fun _ -> ignore (Sys.opaque_identity 0));
+  Histogram.count (Metrics.histogram_value "pool.task_ns") - before
+
+let test_pool_task_ns_sum_consistent () =
+  (* pool.task_ns durations are schedule-dependent, but the observation
+     count is the task count — on the inline jobs=1 path and the
+     multi-domain path alike (the same contract pool.tasks_claimed
+     pins). *)
+  Alcotest.(check int) "jobs=1 task observations" 89
+    (pool_task_hist_delta ~jobs:1 ~tasks:89);
+  Alcotest.(check int) "jobs=4 task observations" 89
+    (pool_task_hist_delta ~jobs:4 ~tasks:89)
+
+(* -- Clock ------------------------------------------------------------- *)
+
+let test_now_ns_monotone_across_domains () =
+  (* The CAS max-clamp in Span.now_ns gives a process-wide monotone
+     clock: non-decreasing within each domain, and a read after joining
+     a domain can never be behind anything that domain saw. *)
+  let reads_per_domain = 5_000 in
+  let domains =
+    Array.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let prev = ref (Span.now_ns ()) in
+            let monotone = ref true in
+            for _ = 1 to reads_per_domain do
+              let t = Span.now_ns () in
+              if t < !prev then monotone := false;
+              prev := t
+            done;
+            (!monotone, !prev)))
+  in
+  let results = Array.map Domain.join domains in
+  Array.iter
+    (fun (monotone, _) ->
+      Alcotest.(check bool) "non-decreasing within a domain" true monotone)
+    results;
+  let after_join = Span.now_ns () in
+  Array.iter
+    (fun (_, domain_max) ->
+      Alcotest.(check bool) "post-join read covers every domain" true
+        (after_join >= domain_max))
+    results
+
 (* -- Spans ------------------------------------------------------------- *)
 
 let span_records path =
@@ -202,7 +328,7 @@ let test_manifest_schema () =
   in
   Manifest.write ~path m;
   let j = Json.parse (read_file path) in
-  Alcotest.(check string) "schema" "dut-manifest/2" (Json.want_str j "schema");
+  Alcotest.(check string) "schema" "dut-manifest/3" (Json.want_str j "schema");
   Alcotest.(check string) "command" "run-all" (Json.want_str j "command");
   Alcotest.(check string) "status" "failed" (Json.want_str j "status");
   Alcotest.(check int) "seed" 7 (int_of_float (Json.want_num j "seed"));
@@ -227,6 +353,10 @@ let test_manifest_schema () =
       Alcotest.(check bool) "mc.trials_used present" true
         (List.mem_assoc "mc.trials_used" fields)
   | _ -> Alcotest.fail "counters is not an object");
+  (* /3 adds the histogram summaries next to the counters. *)
+  (match Json.field j "histograms" with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "histograms is not an object");
   Alcotest.(check bool) "git stamp nonempty" true
     (String.length (Json.want_str j "git") > 0)
 
@@ -276,6 +406,121 @@ let test_stdout_identical_with_trace () =
     (List.length (List.filter (( = ) "experiment") names));
   Alcotest.(check bool) "table spans present" true (List.mem "table" names)
 
+let test_stdout_identical_with_sampler () =
+  with_temp ".out" @@ fun out_plain ->
+  with_temp ".out" @@ fun out_sampled ->
+  with_temp ".jsonl" @@ fun timeline ->
+  let plain = run_registry_experiment ~trace:None out_plain in
+  Timeline.start ~path:timeline ~interval_ms:10 ();
+  let sampled =
+    Fun.protect ~finally:Timeline.stop @@ fun () ->
+    run_registry_experiment ~trace:None out_sampled
+  in
+  Alcotest.(check bool) "sampler stopped" false (Timeline.enabled ());
+  Alcotest.(check string) "output bytes identical" plain sampled;
+  match read_lines timeline with
+  | [] -> Alcotest.fail "timeline file is empty"
+  | header :: samples ->
+      let h = Json.parse header in
+      Alcotest.(check string) "timeline schema" "dut-timeline/1"
+        (Json.want_str h "schema");
+      Alcotest.(check int) "interval recorded" 10
+        (int_of_float (Json.want_num h "interval_ms"));
+      (* stop always flushes a final sample, so even a sub-interval run
+         produces at least one. *)
+      Alcotest.(check bool) "at least one sample" true (samples <> []);
+      List.iter
+        (fun line ->
+          let s = Json.parse line in
+          ignore (Json.want_num s "t_ns");
+          ignore (Json.want_num (Json.field s "gc") "minor_words");
+          match
+            ( Json.field s "counters",
+              Json.field s "gauges",
+              Json.field s "histograms" )
+          with
+          | Json.Obj _, Json.Obj _, Json.Obj _ -> ()
+          | _ -> Alcotest.fail "sample members are not objects")
+        samples
+
+(* -- Profile ------------------------------------------------------------ *)
+
+let span_line ~id ~name ~parent ~start ~dur =
+  Printf.sprintf
+    {|{"name":%S,"span":%d,"parent":%s,"domain":0,"start_ns":%d,"dur_ns":%d}|}
+    name id
+    (if parent < 0 then "null" else string_of_int parent)
+    start dur
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc content
+
+(* run(0..100) > a(10..40) > leaf(15..25); a again at 50..70. Self:
+   run 100-(30+20)=50, a 20+20=40, leaf 10. *)
+let synthetic_trace =
+  String.concat "\n"
+    [
+      span_line ~id:0 ~name:"run" ~parent:(-1) ~start:0 ~dur:100;
+      span_line ~id:1 ~name:"a" ~parent:0 ~start:10 ~dur:30;
+      span_line ~id:2 ~name:"leaf" ~parent:1 ~start:15 ~dur:10;
+      span_line ~id:3 ~name:"a" ~parent:0 ~start:50 ~dur:20;
+    ]
+  ^ "\n"
+
+let test_profile_aggregate_and_folded () =
+  with_temp ".jsonl" @@ fun path ->
+  write_file path synthetic_trace;
+  match Profile.read_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok { Profile.spans; truncated } ->
+      Alcotest.(check bool) "complete file" false truncated;
+      Alcotest.(check int) "four spans" 4 (List.length spans);
+      let aggs = Profile.aggregate spans in
+      let names = List.map (fun a -> a.Profile.agg_name) aggs in
+      (* Sorted by self time descending: run 50, a 40, leaf 10. *)
+      Alcotest.(check (list string)) "self-time order" [ "run"; "a"; "leaf" ]
+        names;
+      let find n = List.find (fun a -> a.Profile.agg_name = n) aggs in
+      Alcotest.(check int) "run self" 50 (find "run").Profile.self_ns;
+      Alcotest.(check int) "a self" 40 (find "a").Profile.self_ns;
+      Alcotest.(check int) "a count" 2 (find "a").Profile.count;
+      Alcotest.(check int) "a total" 50 (find "a").Profile.total_ns;
+      Alcotest.(check int) "a max" 30 (find "a").Profile.max_ns;
+      Alcotest.(check int) "total self" 100 (Profile.total_self_ns spans);
+      Alcotest.(check int) "total self except run" 50
+        (Profile.total_self_ns ~except:[ "run" ] spans);
+      Alcotest.(check int) "wall extent" 100 (Profile.wall_ns spans);
+      Alcotest.(check (list (pair string int))) "folded stacks"
+        [ ("run", 50); ("run;a", 40); ("run;a;leaf", 10) ]
+        (Profile.folded spans)
+
+let test_profile_lint_cases () =
+  (* Empty trace: valid, no spans — the CLI warns but exits 0. *)
+  with_temp ".jsonl" (fun path ->
+      write_file path "";
+      match Profile.read_file path with
+      | Ok { Profile.spans = []; truncated = false } -> ()
+      | Ok _ -> Alcotest.fail "empty file produced spans"
+      | Error msg -> Alcotest.fail msg);
+  (* A partial final line is truncation evidence, not a parse error:
+     every complete span is still returned. *)
+  with_temp ".jsonl" (fun path ->
+      write_file path
+        (synthetic_trace ^ {|{"name":"torn","span":9,"paren|});
+      match Profile.read_file path with
+      | Ok { Profile.spans; truncated } ->
+          Alcotest.(check bool) "truncated flagged" true truncated;
+          Alcotest.(check int) "complete spans kept" 4 (List.length spans)
+      | Error msg -> Alcotest.fail msg);
+  (* A malformed *complete* line is corruption, not truncation. *)
+  with_temp ".jsonl" (fun path ->
+      write_file path (synthetic_trace ^ "not json\n");
+      match Profile.read_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed complete line accepted")
+
 (* ---------------------------------------------------------------------- *)
 
 let () =
@@ -288,8 +533,26 @@ let () =
             test_counter_sum_across_domains;
           Alcotest.test_case "pool claims sum-consistent" `Quick
             test_pool_claims_sum_consistent;
+          Alcotest.test_case "pool task_ns sum-consistent" `Quick
+            test_pool_task_ns_sum_consistent;
           Alcotest.test_case "jobs-invariant tallies" `Quick
             test_jobs_invariant_tallies;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "small values exact" `Quick
+            test_histogram_small_values_exact;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_hist_merge_assoc_comm;
+              prop_hist_buckets_bracket;
+              prop_hist_quantile_brackets_exact;
+            ] );
+      ( "clock",
+        [
+          Alcotest.test_case "now_ns monotone across domains" `Quick
+            test_now_ns_monotone_across_domains;
         ] );
       ( "spans",
         [
@@ -304,5 +567,13 @@ let () =
         [
           Alcotest.test_case "stdout identical with trace" `Quick
             test_stdout_identical_with_trace;
+          Alcotest.test_case "stdout identical with sampler" `Quick
+            test_stdout_identical_with_sampler;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "aggregate and folded" `Quick
+            test_profile_aggregate_and_folded;
+          Alcotest.test_case "lint cases" `Quick test_profile_lint_cases;
         ] );
     ]

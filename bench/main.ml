@@ -796,6 +796,313 @@ let check_kernels_json () =
         with Malformed msg -> fail msg)
   end
 
+(* -- Part 6: service throughput (`--service`) --------------------------- *)
+
+(* Forks one fleet per shard count and hammers its public socket with C
+   concurrent clients sending the same query set twice — a cold wave
+   then a warm one — so each row carries both raw QPS and the cache's
+   effect on it. Latency percentiles are server-side (the
+   service.request_ns histogram published in the final summary), not
+   client timestamps, so they match what a live `dut obs-report
+   --manifest` shows. Must run before anything spins up the engine
+   pool: the fleet is forked, and forking after OCaml 5 domains exist
+   is unsafe — which is why `--service` is its own dispatch branch and
+   not part of the full run. *)
+let service_json_path = Filename.concat "results" "bench_service.json"
+
+let read_json_opt path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match parse contents with exception Malformed _ -> None | j -> Some j
+  end
+
+type service_row = {
+  v_shards : int;
+  v_requests : int;
+  v_seconds : float;
+  v_qps : float;
+  v_p50 : float;
+  v_p95 : float;
+  v_p99 : float;
+  v_max : float;
+  v_hit : float option;
+}
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* One wave: every client connects, writes its whole batch and reads
+   until it has one response line per request. Single-threaded over
+   Dut_service.Poll, mirroring the server's own loop, so hundreds of
+   concurrent clients cost one process. *)
+let service_drive ~socket ~clients ~per_client ~line =
+  let conns =
+    Array.init clients (fun c ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        Unix.set_nonblock fd;
+        let b = Buffer.create (per_client * 96) in
+        for j = 0 to per_client - 1 do
+          Buffer.add_string b (line c j);
+          Buffer.add_char b '\n'
+        done;
+        (fd, Buffer.to_bytes b, ref 0, ref 0))
+  in
+  let chunk = Bytes.create 65536 in
+  let unfinished () =
+    Array.to_list conns |> List.filter (fun (_, _, _, got) -> !got < per_client)
+  in
+  let rec loop () =
+    match unfinished () with
+    | [] -> ()
+    | pending ->
+        let pending = Array.of_list pending in
+        let entries =
+          Array.map
+            (fun (fd, out, written, _) ->
+              if !written < Bytes.length out then (fd, Dut_service.Poll.rw)
+              else (fd, Dut_service.Poll.rd))
+            pending
+        in
+        let ready = Dut_service.Poll.wait ~timeout_ms:5000 entries in
+        Array.iteri
+          (fun i (fd, out, written, got) ->
+            (if ready.(i).Dut_service.Poll.write && !written < Bytes.length out
+             then
+               match
+                 Unix.single_write fd out !written
+                   (Bytes.length out - !written)
+               with
+               | n -> written := !written + n
+               | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                   ());
+            if ready.(i).Dut_service.Poll.read then
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> failwith "service bench: server closed the connection"
+              | n ->
+                  for k = 0 to n - 1 do
+                    if Bytes.get chunk k = '\n' then incr got
+                  done
+              | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ())
+          pending;
+        loop ()
+  in
+  loop ();
+  Array.iter (fun (fd, _, _, _) -> Unix.close fd) conns
+
+let service_bench_row ~jobs ~shards ~clients ~per_client =
+  let dir = Filename.temp_file "dut_bench_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "sock" in
+  let summary = Filename.concat dir "summary.json" in
+  let pid =
+    match Unix.fork () with
+    | 0 -> (
+        match
+          Dut_service.Shard.serve_fleet ~shards
+            {
+              Dut_service.Server.socket;
+              jobs;
+              cache =
+                Some
+                  (Dut_service.Memo.create
+                     ~dir:(Some (Filename.concat dir "memo"))
+                     ());
+              deadline_s = None;
+              max_pending = 2 * clients * per_client;
+              summary_path = summary;
+            }
+        with
+        | () -> Unix._exit 0
+        | exception e ->
+            Printf.eprintf "service bench server: %s\n%!"
+              (Printexc.to_string e);
+            Unix._exit 1)
+    | pid -> pid
+  in
+  let rec await_ready tries =
+    if tries = 0 then failwith "service bench: server did not come up";
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+        Unix.close fd;
+        Unix.sleepf 0.025;
+        await_ready (tries - 1)
+  in
+  await_ready 400;
+  (* Distinct cheap bound queries: wave 1 is all misses, wave 2 all
+     hits, so cache_hit_ratio lands at ~0.5 by construction. *)
+  let line c j =
+    Printf.sprintf
+      "{\"id\":%d,\"kind\":\"bound\",\"name\":\"thm11_lower\",\"params\":{\"n\":%d,\"k\":64,\"eps\":0.25}}"
+      j
+      (1024 + (8 * ((c * per_client) + j)))
+  in
+  let t0 = Unix.gettimeofday () in
+  service_drive ~socket ~clients ~per_client ~line;
+  service_drive ~socket ~clients ~per_client ~line;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let requests = 2 * clients * per_client in
+  Unix.kill pid Sys.sigint;
+  ignore (Unix.waitpid [] pid);
+  let root =
+    match read_json_opt summary with
+    | Some j -> j
+    | None -> failwith ("service bench: no summary at " ^ summary)
+  in
+  (* shards=1 degenerates to a plain server (dut-service/3, stats at
+     top level); fleets publish dut-service-fleet/1 with the merged
+     stats under "aggregate". *)
+  let stats =
+    match field_opt root "aggregate" with Some a -> a | None -> root
+  in
+  let lat f =
+    match field_opt stats "latency_ns" with
+    | Some l -> ( try want_num l f with Malformed _ -> 0.)
+    | None -> 0.
+  in
+  let hit =
+    match field_opt stats "cache_hit_ratio" with
+    | Some (Num r) -> Some r
+    | _ -> None
+  in
+  rm_rf dir;
+  let row =
+    {
+      v_shards = shards;
+      v_requests = requests;
+      v_seconds = seconds;
+      v_qps = float_of_int requests /. seconds;
+      v_p50 = lat "p50";
+      v_p95 = lat "p95";
+      v_p99 = lat "p99";
+      v_max = lat "max";
+      v_hit = hit;
+    }
+  in
+  Printf.printf
+    "shards %d   %6d req   %9.1f qps   p50 %6.0fns p95 %6.0fns p99 %6.0fns   \
+     hit %s   (%.2fs)\n\
+     %!"
+    row.v_shards row.v_requests row.v_qps row.v_p50 row.v_p95 row.v_p99
+    (match row.v_hit with
+    | Some h -> Printf.sprintf "%.2f" h
+    | None -> "n/a")
+    row.v_seconds;
+  row
+
+let bench_service ~quick () =
+  let jobs =
+    Dut_engine.Pool.effective_jobs (Dut_engine.Parallel.env_jobs ())
+  in
+  let clients = if quick then 64 else 256 in
+  let per_client = if quick then 8 else 32 in
+  let shard_counts = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  Printf.printf
+    "## service bench: %d clients x %d requests x 2 waves, jobs=%d\n%!"
+    clients per_client jobs;
+  let rows =
+    List.map
+      (fun shards -> service_bench_row ~jobs ~shards ~clients ~per_client)
+      shard_counts
+  in
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let oc = open_out service_json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"service\",\n\
+    \  \"quick\": %b,\n\
+    \  \"jobs\": %d,\n\
+    \  \"clients\": %d,\n\
+    \  \"requests_per_client\": %d,\n\
+    \  \"rows\": [\n"
+    quick jobs clients per_client;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"shards\": %d, \"requests\": %d, \"seconds\": %.4f, \
+         \"qps\": %.1f, \"latency_ns\": { \"p50\": %.0f, \"p95\": %.0f, \
+         \"p99\": %.0f, \"max\": %.0f }, \"cache_hit_ratio\": %s }%s\n"
+        r.v_shards r.v_requests r.v_seconds r.v_qps r.v_p50 r.v_p95 r.v_p99
+        r.v_max
+        (match r.v_hit with
+        | Some h -> Printf.sprintf "%.4f" h
+        | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline ("wrote " ^ service_json_path)
+
+(* Validated only when present, like the stream/kernel jsons. *)
+let check_service_json () =
+  if Sys.file_exists service_json_path then begin
+    let fail msg =
+      Printf.eprintf "%s: %s\n" service_json_path msg;
+      exit 1
+    in
+    let ic = open_in_bin service_json_path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match parse contents with
+    | exception Malformed msg -> fail msg
+    | root -> (
+        try
+          if want_str root "benchmark" <> "service" then
+            raise (Malformed "benchmark: expected \"service\"");
+          ignore (want_bool root "quick");
+          if want_num root "jobs" < 1. then raise (Malformed "jobs < 1");
+          if want_num root "clients" < 1. then raise (Malformed "clients < 1");
+          if want_num root "requests_per_client" < 1. then
+            raise (Malformed "requests_per_client < 1");
+          (match field root "rows" with
+          | Arr [] -> raise (Malformed "rows: empty")
+          | Arr rows ->
+              List.iter
+                (fun r ->
+                  if want_num r "shards" < 1. then
+                    raise (Malformed "shards < 1");
+                  if want_num r "requests" < 1. then
+                    raise (Malformed "requests < 1");
+                  List.iter
+                    (fun f ->
+                      if want_num r f < 0. then
+                        raise (Malformed (f ^ ": negative")))
+                    [ "seconds"; "qps" ];
+                  (match field r "latency_ns" with
+                  | Obj _ as l ->
+                      let p50 = want_num l "p50" in
+                      let p95 = want_num l "p95" in
+                      let p99 = want_num l "p99" in
+                      if p50 < 0. then raise (Malformed "p50: negative");
+                      if not (p50 <= p95 && p95 <= p99) then
+                        raise
+                          (Malformed
+                             "latency percentiles not monotone (p50 <= p95 \
+                              <= p99)")
+                  | _ -> raise (Malformed "latency_ns: expected object"));
+                  match field_opt r "cache_hit_ratio" with
+                  | Some Null | None -> ()
+                  | Some (Num v) when v >= 0. && v <= 1. -> ()
+                  | Some _ ->
+                      raise
+                        (Malformed "cache_hit_ratio: expected 0..1 or null"))
+                rows
+          | _ -> raise (Malformed "rows: expected array"));
+          Printf.printf "%s: schema ok\n" service_json_path
+        with Malformed msg -> fail msg)
+  end
+
 (* -- Bench history (results/bench_history.jsonl) ------------------------ *)
 
 (* One row appended per `--quick` bench run: the longitudinal record
@@ -807,18 +1114,10 @@ let check_kernels_json () =
 let history_json_path = Filename.concat "results" "bench_history.jsonl"
 let history_schema = "dut-bench-history/1"
 
-let read_json_opt path =
-  if not (Sys.file_exists path) then None
-  else begin
-    let ic = open_in_bin path in
-    let contents = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    match parse contents with exception Malformed _ -> None | j -> Some j
-  end
-
 let append_history () =
   let engine = read_json_opt engine_json_path in
   let stream = read_json_opt stream_json_path in
+  let service = read_json_opt service_json_path in
   let num_field j obj f =
     match Option.bind j (fun j -> field_opt j obj) with
     | Some o -> ( try Some (want_num o f) with Malformed _ -> None)
@@ -849,6 +1148,18 @@ let append_history () =
           None rows
     | _ -> None
   in
+  (* Best throughput across the shard-count ladder. *)
+  let service_qps =
+    match Option.bind service (fun j -> field_opt j "rows") with
+    | Some (Dut_obs.Json.Arr rows) ->
+        List.fold_left
+          (fun acc r ->
+            match want_num r "qps" with
+            | q -> Some (Float.max q (Option.value ~default:0. acc))
+            | exception Malformed _ -> acc)
+          None rows
+    | _ -> None
+  in
   let jobs =
     let of_json j = try Some (want_num j "jobs") with Malformed _ -> None in
     match (Option.bind engine of_json, Option.bind stream of_json) with
@@ -869,6 +1180,7 @@ let append_history () =
         ("run_all_speedup", opt (num_field engine "run_all" "speedup"));
         ("words_per_trial", opt words_per_trial);
         ("ingest_samples_per_s", opt ingest_samples_per_s);
+        ("service_qps", opt service_qps);
       ]
   in
   if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
@@ -912,7 +1224,7 @@ let check_history_jsonl () =
                      | Some _ -> raise (Malformed (f ^ ": expected number or null")))
                    [
                      "run_all_wall_s"; "run_all_speedup"; "words_per_trial";
-                     "ingest_samples_per_s";
+                     "ingest_samples_per_s"; "service_qps";
                    ]
                with Malformed msg ->
                  fail (Printf.sprintf "row %d: %s" i msg));
@@ -1005,9 +1317,16 @@ let () =
     check_engine_json ();
     check_stream_json ();
     check_kernels_json ();
+    check_service_json ();
     check_history_jsonl ()
   end
   else if has "--gate" then gate_alloc ()
+  else if has "--service" then begin
+    (* Own branch, never part of the full run: the fleet is forked, so
+       this must happen before any Parallel.map creates pool domains. *)
+    bench_service ~quick:(has "--quick") ();
+    if has "--quick" then append_history ()
+  end
   else if has "--stream" then begin
     bench_stream ~quick:(has "--quick") ();
     if has "--quick" then append_history ()

@@ -442,8 +442,21 @@ let serve_cmd =
              after every batch; readable live with $(b,dut obs-report \
              --manifest).")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the service across $(docv) worker processes: a router \
+             on the public socket consistent-hashes each query's \
+             canonical bytes to a worker (each a full server on \
+             $(i,SOCKET).shardI, all sharing the on-disk memo store) and \
+             splices responses back byte-identically. 1 (the default) \
+             runs the plain single-process server.")
+  in
   let run socket jobs cache_dir no_cache mem_entries deadline_s max_pending
-      summary trace metrics =
+      summary shards trace metrics =
+    if shards < 1 then invalid_arg "serve: shards must be positive";
     let jobs =
       Dut_engine.Pool.effective_jobs
         (match jobs with
@@ -462,7 +475,7 @@ let serve_cmd =
     Fun.protect
       ~finally:(fun () -> Dut_obs.Span.set_sink None)
       (fun () ->
-        Dut_service.Server.serve
+        Dut_service.Shard.serve_fleet ~shards
           {
             Dut_service.Server.socket;
             jobs;
@@ -478,7 +491,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
       $ mem_entries_arg $ deadline_arg $ max_pending_arg $ summary_arg
-      $ trace_arg $ metrics_arg)
+      $ shards_arg $ trace_arg $ metrics_arg)
 
 let query_cmd =
   let doc =
@@ -510,7 +523,21 @@ let query_cmd =
     in
     go []
   in
-  let run socket query batch =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Give up after $(docv) without a full set of responses: \
+             unanswered ids are filled with an error payload (one output \
+             line per input line still holds) and the exit code is 2. \
+             Without it the wait is unbounded.")
+  in
+  let run socket timeout_s query batch =
+    (match timeout_s with
+    | Some t when t <= 0. -> invalid_arg "query: timeout-s must be positive"
+    | _ -> ());
     let lines =
       match (query, batch) with
       | Some q, None -> [ q ]
@@ -523,10 +550,10 @@ let query_cmd =
           Printf.eprintf "dut query: pass either QUERY or --batch, not both\n";
           exit Cmd.Exit.cli_error
     in
-    exit (Dut_service.Client.run ~socket ~out:stdout lines)
+    exit (Dut_service.Client.run ?timeout_s ~socket ~out:stdout lines)
   in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run $ socket_arg $ query_pos_arg $ batch_arg)
+    Term.(const run $ socket_arg $ timeout_arg $ query_pos_arg $ batch_arg)
 
 (* -- stream: run the anytime referee over samples from stdin/file ------- *)
 
@@ -855,19 +882,103 @@ let report_service path m =
   | _ -> ());
   report_counters m
 
+(* dut-service-fleet/1: the router's merged view of a sharded fleet —
+   aggregate first (counters summed, latency merged exactly from the
+   per-shard bucket arrays), then each worker's own dut-service
+   summary, re-read from disk so a dead shard degrades to a one-line
+   note instead of a render failure. *)
+let report_fleet path m =
+  let open Dut_obs in
+  Printf.printf "fleet %s (%s, git %s)\n" path (Json.want_str m "schema")
+    (Json.want_str m "git");
+  Printf.printf "  status      %s\n" (Json.want_str m "status");
+  Printf.printf "  socket      %s\n" (Json.want_str m "socket");
+  Printf.printf "  shards      %.0f   jobs %.0f per shard   uptime %.1fs\n"
+    (Json.want_num m "shards") (Json.want_num m "jobs")
+    (Json.want_num m "uptime_seconds");
+  (match Json.field_opt m "router" with
+  | Some r ->
+      Printf.printf
+        "  router      %.0f routed, %.0f local errors, %.0f dead rejects, \
+         %.0f stray (%.0f/%.0f shards live)\n"
+        (Json.want_num r "routed")
+        (Json.want_num r "local_errors")
+        (Json.want_num r "dead_rejects")
+        (Json.want_num r "stray_responses")
+        (Json.want_num r "shards_live")
+        (Json.want_num m "shards")
+  | None -> ());
+  (match Json.field_opt m "aggregate" with
+  | Some a ->
+      Printf.printf
+        "  aggregate   %.0f requests in %.0f batches (%.0f errors, %.0f \
+         rejected)\n"
+        (Json.want_num a "requests") (Json.want_num a "batches")
+        (Json.want_num a "errors") (Json.want_num a "rejected");
+      let hits = Json.want_num a "cache_hits"
+      and misses = Json.want_num a "cache_misses" in
+      let rate =
+        if hits +. misses > 0. then
+          Printf.sprintf " (%.0f%% hit rate)" (100. *. hits /. (hits +. misses))
+        else ""
+      in
+      Printf.printf "  cache       %.0f hits, %.0f misses%s\n" hits misses rate;
+      (match Json.field_opt a "qps" with
+      | Some (Json.Num q) -> Printf.printf "  qps         %.2f\n" q
+      | _ -> ());
+      (match Json.field_opt a "latency_ns" with
+      | Some lat ->
+          Printf.printf
+            "  latency     p50 %s  p90 %s  p95 %s  p99 %s  max %s\n"
+            (hist_cell ~ns:true lat "p50") (hist_cell ~ns:true lat "p90")
+            (hist_cell ~ns:true lat "p95") (hist_cell ~ns:true lat "p99")
+            (hist_cell ~ns:true lat "max")
+      | None -> ())
+  | None -> ());
+  match Json.field_opt m "workers" with
+  | Some (Json.Arr workers) ->
+      List.iter
+        (fun w ->
+          let shard = Json.want_num w "shard" in
+          let summary = Json.want_str w "summary" in
+          (* The recorded path is relative to the server's cwd; when
+             the report runs elsewhere, the worker summaries still sit
+             next to the fleet manifest by construction. *)
+          let summary =
+            if Sys.file_exists summary then summary
+            else Filename.concat (Filename.dirname path)
+                (Filename.basename summary)
+          in
+          print_newline ();
+          if Sys.file_exists summary then
+            match Json.parse (read_file summary) with
+            | exception (Json.Malformed _ | Sys_error _) ->
+                Printf.printf "shard %.0f: unreadable summary at %s\n" shard
+                  summary
+            | wm -> report_service summary wm
+          else
+            Printf.printf "shard %.0f: no summary at %s (never served?)\n"
+              shard summary)
+        workers
+  | _ -> ()
+
 let report_manifest path =
   if not (Sys.file_exists path) then
     obs_fail path "no manifest (run `dut run-all` first, or pass --manifest)";
   let open Dut_obs in
+  let schema_prefix m prefix =
+    try
+      let s = Json.want_str m "schema" in
+      String.length s >= String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+    with _ -> false
+  in
   match Json.parse (read_file path) with
   | exception Json.Malformed msg -> obs_fail path msg
   | exception Sys_error msg -> obs_fail path msg
-  | m
-    when (try
-            let s = Json.want_str m "schema" in
-            String.length s >= 12 && String.sub s 0 12 = "dut-service/"
-          with _ -> false)
-    -> (
+  | m when schema_prefix m "dut-service-fleet/" -> (
+      try report_fleet path m with Json.Malformed msg -> obs_fail path msg)
+  | m when schema_prefix m "dut-service/" -> (
       try report_service path m with Json.Malformed msg -> obs_fail path msg)
   | m -> (
       try
@@ -1463,6 +1574,11 @@ let () =
      Invalid_argument from Config.make; report them as CLI errors
      rather than cmdliner's "internal error" backtrace. *)
   try exit (Cmd.eval ~catch:false main)
-  with Invalid_argument msg ->
-    Printf.eprintf "dut: %s\n" msg;
-    exit Cmd.Exit.cli_error
+  with
+  | Invalid_argument msg ->
+      Printf.eprintf "dut: %s\n" msg;
+      exit Cmd.Exit.cli_error
+  | Failure msg ->
+      (* e.g. `dut serve` refusing a socket a live server answers on *)
+      Printf.eprintf "dut: %s\n" msg;
+      exit 1

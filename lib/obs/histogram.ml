@@ -132,6 +132,36 @@ let sum_estimate t =
 
 let q_or_zero t q = match quantile t q with Some v -> v | None -> 0
 
+(* Sparse [[bucket, count], ...] pairs: the exact bucket contents, so a
+   histogram serialised in one process and merged in another loses
+   nothing — fleet aggregation over per-shard summaries depends on
+   round-tripping being lossless. *)
+let to_json t =
+  let pairs = ref [] in
+  for b = buckets - 1 downto 0 do
+    if t.counts.(b) > 0 then
+      pairs := Json.Arr [ Json.int b; Json.int t.counts.(b) ] :: !pairs
+  done;
+  Json.Arr !pairs
+
+let of_json j =
+  let t = create () in
+  (match j with
+  | Json.Arr pairs ->
+      List.iter
+        (fun pair ->
+          match pair with
+          | Json.Arr [ Json.Num b; Json.Num c ]
+            when Float.is_integer b && Float.is_integer c ->
+              let b = int_of_float b and c = int_of_float c in
+              if b < 0 || b >= buckets || c < 0 then
+                raise (Json.Malformed "histogram: bucket out of range");
+              t.counts.(b) <- t.counts.(b) + c
+          | _ -> raise (Json.Malformed "histogram: expected [bucket, count]"))
+        pairs
+  | _ -> raise (Json.Malformed "histogram: expected an array"));
+  t
+
 let summary_json t =
   let n = count t in
   if n = 0 then Json.Obj [ ("count", Json.Num 0.) ]

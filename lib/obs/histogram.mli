@@ -69,3 +69,14 @@ val sum_estimate : t -> int
 val summary_json : t -> Json.t
 (** [{"count":n,"p50":..,"p90":..,"p95":..,"p99":..,"max":..}], or just
     [{"count":0}] when empty. *)
+
+val to_json : t -> Json.t
+(** Sparse exact encoding, [[bucket, count], ...] for every non-empty
+    bucket: unlike {!summary_json} this loses nothing, so histograms
+    serialised by different processes can be {!of_json}-ed and
+    {!merge}-d with the same result as recording into one instance
+    (the fleet summary aggregates per-shard latency this way). *)
+
+val of_json : Json.t -> t
+(** Inverse of {!to_json} (duplicate buckets sum).
+    @raise Json.Malformed on any other shape. *)

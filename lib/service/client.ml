@@ -1,5 +1,7 @@
 module J = Dut_obs.Json
 
+let m_duplicates = Dut_obs.Metrics.counter "service.duplicate_responses"
+
 (* Re-key an input line with the client-assigned id. The line is parsed
    (not spliced textually) so a malformed query is caught here and
    answered locally — the server never sees it, and the output still
@@ -21,7 +23,7 @@ let write_all fd s =
     off := !off + Unix.write fd b !off (len - !off)
   done
 
-let run ~socket ~out lines =
+let run ?timeout_s ~socket ~out lines =
   let lines = List.filter (fun l -> String.trim l <> "") lines in
   let n = List.length lines in
   let prepared = List.mapi prepare lines in
@@ -39,6 +41,7 @@ let run ~socket ~out lines =
          prepared)
   in
   let outstanding = ref (List.length to_send) in
+  let timed_out = ref false in
   let connect_and_exchange () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Fun.protect
@@ -49,38 +52,66 @@ let run ~socket ~out lines =
         let buf = Bytes.create 65536 in
         let acc = Buffer.create 4096 in
         let record line =
-          if String.trim line <> "" then begin
-            (match J.parse line with
+          if String.trim line <> "" then
+            match J.parse line with
             | exception J.Malformed _ -> ()
             | j -> (
                 match J.field_opt j "id" with
                 | Some (J.Num f)
                   when Float.is_integer f
                        && int_of_float f >= 0
-                       && int_of_float f < n ->
+                       && int_of_float f < n -> (
                     let id = int_of_float f in
-                    if responses.(id) = None then begin
-                      responses.(id) <- Some line;
-                      decr outstanding
-                    end
-                | _ -> ()));
-            ()
-          end
+                    match responses.(id) with
+                    | None ->
+                        responses.(id) <- Some line;
+                        decr outstanding
+                    | Some _ ->
+                        (* A second answer for a filled slot must not
+                           decrement [outstanding] (that would end the
+                           wait early and drop a sibling's answer) —
+                           it is a counted, logged no-op. *)
+                        Dut_obs.Metrics.incr m_duplicates;
+                        Printf.eprintf
+                          "dut query: duplicate response for id %d (ignored)\n%!"
+                          id)
+                | _ -> ())
         in
-        while !outstanding > 0 do
-          match Unix.read fd buf 0 (Bytes.length buf) with
-          | 0 -> failwith "server closed the connection before responding"
-          | len ->
-              Buffer.add_subbytes acc buf 0 len;
-              let data = Buffer.contents acc in
-              (match String.rindex_opt data '\n' with
-              | None -> ()
-              | Some last ->
-                  Buffer.clear acc;
-                  Buffer.add_string acc
-                    (String.sub data (last + 1) (String.length data - last - 1));
-                  List.iter record
-                    (String.split_on_char '\n' (String.sub data 0 last)))
+        (* Absolute deadline across the whole read phase: without one, a
+           server that drops a response would park this loop in read(2)
+           forever — the bug the --timeout-s flag exists to bound. *)
+        let deadline =
+          Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+        in
+        while !outstanding > 0 && not !timed_out do
+          let readable =
+            match deadline with
+            | None -> true
+            | Some d ->
+                let remaining_ms =
+                  int_of_float (ceil ((d -. Unix.gettimeofday ()) *. 1000.))
+                in
+                if remaining_ms <= 0 then false
+                else
+                  (Poll.wait ~timeout_ms:remaining_ms [| (fd, Poll.rd) |]).(0)
+                    .Poll.read
+          in
+          if not readable then timed_out := true
+          else
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> failwith "server closed the connection before responding"
+            | len -> (
+                Buffer.add_subbytes acc buf 0 len;
+                let data = Buffer.contents acc in
+                match String.rindex_opt data '\n' with
+                | None -> ()
+                | Some last ->
+                    Buffer.clear acc;
+                    Buffer.add_string acc
+                      (String.sub data (last + 1)
+                         (String.length data - last - 1));
+                    List.iter record
+                      (String.split_on_char '\n' (String.sub data 0 last)))
         done)
   in
   match (if !outstanding > 0 then connect_and_exchange ()) with
@@ -91,6 +122,11 @@ let run ~socket ~out lines =
       Printf.eprintf "dut query: %s\n%!" msg;
       2
   | () ->
+      if !timed_out then
+        Printf.eprintf
+          "dut query: timed out after %gs with %d response(s) missing\n%!"
+          (Option.value timeout_s ~default:0.)
+          !outstanding;
       let all_ok = ref true in
       Array.iteri
         (fun i r ->
@@ -107,8 +143,8 @@ let run ~socket ~out lines =
               in
               if not ok then all_ok := false
           | None ->
-              (* Unreachable: the read loop only returns once every
-                 outstanding id is filled. *)
+              (* Only reachable on timeout: the read loop otherwise
+                 returns once every outstanding id is filled. *)
               output_string out
                 (Query.response_line ~id:i
                    (Query.error_payload "no response received")
@@ -116,4 +152,4 @@ let run ~socket ~out lines =
               all_ok := false)
         responses;
       flush out;
-      if !all_ok then 0 else 1
+      if !timed_out then 2 else if !all_ok then 0 else 1

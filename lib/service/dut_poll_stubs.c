@@ -1,0 +1,72 @@
+/* poll(2) binding for the service event loops.
+ *
+ * Unix.select is capped at FD_SETSIZE (1024) descriptors; a server
+ * meant to hold thousands of idle client connections needs poll.
+ * On Unix an OCaml Unix.file_descr is an immediate int, so the fds
+ * cross the boundary as a plain int array and no unixsupport.h glue
+ * is required.
+ *
+ * Interest and readiness travel as one byte per fd (bit 0 = readable,
+ * bit 1 = writable); readiness folds POLLHUP/POLLERR/POLLNVAL into
+ * "readable" so the OCaml side discovers the condition from the read
+ * it was about to do anyway.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define DUT_POLL_RD 1
+#define DUT_POLL_WR 2
+
+CAMLprim value dut_poll_stub(value v_fds, value v_events, value v_revents,
+                             value v_timeout_ms)
+{
+  CAMLparam4(v_fds, v_events, v_revents, v_timeout_ms);
+  nfds_t n = Wosize_val(v_fds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds = NULL;
+  int ready;
+
+  if (n > 0) {
+    pfds = malloc(n * sizeof(struct pollfd));
+    if (pfds == NULL) caml_failwith("poll: out of memory");
+    for (nfds_t i = 0; i < n; i++) {
+      unsigned char ev = Bytes_val(v_events)[i];
+      pfds[i].fd = Int_val(Field(v_fds, i));
+      pfds[i].events = ((ev & DUT_POLL_RD) ? POLLIN : 0)
+                     | ((ev & DUT_POLL_WR) ? POLLOUT : 0);
+      pfds[i].revents = 0;
+    }
+  }
+
+  /* The heap pointers above are dead past this point: the GC may move
+   * the arrays while the lock is down, so v_revents is re-read after
+   * reacquisition. */
+  caml_release_runtime_system();
+  ready = poll(pfds, n, timeout);
+  caml_acquire_runtime_system();
+
+  if (ready < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR) CAMLreturn(Val_int(0));
+    caml_failwith("poll: system call failed");
+  }
+
+  for (nfds_t i = 0; i < n; i++) {
+    short re = pfds[i].revents;
+    unsigned char out = 0;
+    if (re & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) out |= DUT_POLL_RD;
+    if (re & (POLLOUT | POLLERR)) out |= DUT_POLL_WR;
+    Bytes_val(v_revents)[i] = out;
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ready));
+}

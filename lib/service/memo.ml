@@ -12,6 +12,8 @@ let m_evictions = Dut_obs.Metrics.counter "cache.evictions"
 
 let m_write_failures = Dut_obs.Metrics.counter "cache.write_failures"
 
+let m_store_races = Dut_obs.Metrics.counter "cache.store_races"
+
 (* Lookup and persist latency, hit or miss: the cost of asking the
    cache is what a caller pays either way, and the disk tier dominating
    p99 is exactly what these exist to make visible. *)
@@ -107,15 +109,58 @@ let disk_find ~dir key =
           | false -> None
           | true -> Some payload))
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Write-once publication: the content lands in a private temp file and
+   is published with [Unix.link], which fails with EEXIST if any other
+   process (another shard of the fleet) already published the key. The
+   loser's bytes are discarded — both writers computed the same
+   canonical answer, so either copy serves — and the collision is
+   tallied as [cache.store_races], never as a write failure. link keeps
+   write_atomic's guarantee too: readers see a complete entry or none. *)
+let publish_once ~path content =
+  let dir = Filename.dirname path in
+  mkdir_p dir;
+  let tmp = Filename.temp_file ~temp_dir:dir "memo" ".tmp" in
+  let remove_tmp () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Unix.link tmp path
+  with
+  | () ->
+      remove_tmp ();
+      `Won
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      remove_tmp ();
+      `Lost
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+      remove_tmp ();
+      `Failed
+
 let disk_store ~dir ~key payload =
-  let content =
-    Dut_obs.Json.to_string (header ~key ~bytes:(String.length payload))
-    ^ "\n" ^ payload
-  in
-  try Dut_obs.Manifest.write_atomic ~path:(path_of_key ~dir key) content
-  with Sys_error msg ->
-    Dut_obs.Metrics.incr m_write_failures;
-    Printf.eprintf "dut: cannot persist memo entry: %s\n%!" msg
+  let path = path_of_key ~dir key in
+  if Sys.file_exists path then
+    (* Another process published this key since our lookup missed. *)
+    Dut_obs.Metrics.incr m_store_races
+  else
+    let content =
+      Dut_obs.Json.to_string (header ~key ~bytes:(String.length payload))
+      ^ "\n" ^ payload
+    in
+    match publish_once ~path content with
+    | `Won -> ()
+    | `Lost -> Dut_obs.Metrics.incr m_store_races
+    | `Failed ->
+        Dut_obs.Metrics.incr m_write_failures;
+        Printf.eprintf "dut: cannot persist memo entry: %s\n%!" path
 
 (* -- Public API --------------------------------------------------------- *)
 

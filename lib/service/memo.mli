@@ -13,14 +13,20 @@
     - an in-memory LRU front (bounded; [cache.evictions] counts
       overflow), and
     - an optional on-disk store (one file per key under [dir], written
-      via {!Dut_obs.Manifest.write_atomic} — a crash can never publish
-      a truncated entry; a malformed or mismatched file reads as a
-      miss).
+      once: the content lands in a temp file and is published with
+      [Unix.link], so a crash can never expose a truncated entry and
+      concurrent stores of the same key — shards of a fleet sharing
+      [dir] — leave exactly one intact winner; a malformed or
+      mismatched file reads as a miss).
 
     Lookups tally [cache.hits] / [cache.misses]; stores tally
-    [cache.stores]. The cache is {e not} thread-safe: the server calls
-    it only from the submitting domain (lookups before a batch is
-    dispatched, stores after it joins). *)
+    [cache.stores], and a store that loses the write-once race (or
+    finds the key already published) tallies [cache.store_races] — a
+    benign event, both writers held byte-identical payloads. The cache
+    is {e not} thread-safe within a process: the server calls it only
+    from the submitting domain (lookups before a batch is dispatched,
+    stores after it joins); cross-{e process} sharing of [dir] is safe
+    by the write-once discipline. *)
 
 type t
 
@@ -41,10 +47,12 @@ val find : t -> key:string -> string option
     or [cache.misses]. *)
 
 val store : t -> key:string -> string -> unit
-(** Publish [payload] under [key] in both tiers. A disk-tier write
-    failure (read-only or full disk) degrades to a one-line stderr
-    warning and a [cache.write_failures] tally: the server keeps
-    answering, merely without persistence. *)
+(** Publish [payload] under [key] in both tiers. The disk tier is
+    write-once: if another process already published the key, the store
+    is a counted no-op ([cache.store_races]) and the existing file is
+    left untouched. A disk-tier write failure (read-only or full disk)
+    degrades to a one-line stderr warning and a [cache.write_failures]
+    tally: the server keeps answering, merely without persistence. *)
 
 val entries : t -> int
 (** Number of payloads in the in-memory front (tests). *)

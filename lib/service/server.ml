@@ -159,7 +159,7 @@ let ratio hits misses =
   if total = 0 then J.Null
   else J.Num (float_of_int hits /. float_of_int total)
 
-let summary ~config ~status ~git ~created_unix ~started_ns =
+let summary ?shard ~config ~status ~git ~created_unix ~started_ns () =
   let count name = J.int (Dut_obs.Metrics.value name) in
   let counters =
     List.map
@@ -198,12 +198,16 @@ let summary ~config ~status ~git ~created_unix ~started_ns =
           ]
   in
   J.Obj
-    [
-      ("schema", J.Str "dut-service/2");
-      ("command", J.Str "serve");
-      ("status", J.Str status);
-      ("socket", J.Str config.socket);
-      ("jobs", J.int config.jobs);
+    ([
+       ("schema", J.Str "dut-service/3");
+       ("command", J.Str "serve");
+       ("status", J.Str status);
+       ("socket", J.Str config.socket);
+       ("jobs", J.int config.jobs);
+       ("pid", J.int (Unix.getpid ()));
+     ]
+    @ (match shard with Some s -> [ ("shard", J.int s) ] | None -> [])
+    @ [
       ("git", J.Str git);
       ("created_unix", J.Num created_unix);
       ("uptime_seconds", J.Num uptime_seconds);
@@ -220,6 +224,12 @@ let summary ~config ~status ~git ~created_unix ~started_ns =
       ( "latency_ns",
         Dut_obs.Histogram.summary_json
           (Dut_obs.Metrics.histogram_value "service.request_ns") );
+      (* Exact bucket contents alongside the summary (new in /3): the
+         fleet aggregate merges per-shard latency losslessly from
+         these instead of averaging pre-computed quantiles. *)
+      ( "latency_buckets",
+        Dut_obs.Histogram.to_json
+          (Dut_obs.Metrics.histogram_value "service.request_ns") );
       ( "cache_hit_ratio",
         ratio
           (Dut_obs.Metrics.value "cache.hits")
@@ -227,11 +237,12 @@ let summary ~config ~status ~git ~created_unix ~started_ns =
       ("last_batch", last_batch_json);
       ("counters", J.Obj counters);
       ("histograms", J.Obj histograms);
-    ]
+    ])
 
-let write_summary ~config ~status ~git ~created_unix ~started_ns =
+let write_summary ?shard ~config ~status ~git ~created_unix ~started_ns () =
   let content =
-    J.to_string (summary ~config ~status ~git ~created_unix ~started_ns) ^ "\n"
+    J.to_string (summary ?shard ~config ~status ~git ~created_unix ~started_ns ())
+    ^ "\n"
   in
   try Dut_obs.Manifest.write_atomic ~path:config.summary_path content
   with Sys_error msg ->
@@ -243,6 +254,7 @@ type conn = {
   fd : Unix.file_descr;
   pending_input : Buffer.t;  (* bytes read but not yet newline-terminated *)
   mutable alive : bool;
+  mutable eof : bool;  (* peer half-closed: answer, then close *)
 }
 
 let read_chunk_size = 65536
@@ -259,6 +271,16 @@ let take_lines conn (bytes : Bytes.t) len =
         (String.sub data (last + 1) (String.length data - last - 1));
       String.split_on_char '\n' (String.sub data 0 last)
       |> List.filter (fun l -> String.trim l <> "")
+
+(* On EOF the tail of [pending_input] — a final request the client sent
+   without a trailing newline before closing — is still a request.
+   Flushing it through the same non-blank-line semantics keeps "one
+   response per line" true for clients that close right after their
+   last byte. *)
+let flush_pending conn =
+  let data = Buffer.contents conn.pending_input in
+  Buffer.clear conn.pending_input;
+  if String.trim data = "" then [] else [ data ]
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -278,94 +300,150 @@ let close_conn conn =
   conn.alive <- false;
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-let serve config =
+(* Probing before unlinking is what makes `dut serve` safe to restart:
+   a stale socket file left by a crash refuses the connect and is
+   removed, but a live server accepts it — and this process must then
+   refuse to start rather than steal the path out from under it (the
+   old loop's stat-and-unlink silently orphaned the running server). *)
+let prepare_socket path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close probe with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () -> true
+            | exception
+                Unix.Unix_error
+                  ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+                false)
+      in
+      if live then
+        failwith
+          (path
+         ^ ": a running server already answers on this socket; stop it or \
+            pass a different --socket")
+      else ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> failwith (path ^ ": exists and is not a socket")
+
+let bind_listener path =
+  prepare_socket path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 256;
+  (* Non-blocking so one poll wake-up can drain the whole accept queue
+     (the old loop accepted one connection per select tick). *)
+  Unix.set_nonblock listener;
+  listener
+
+let accept_pending listener conns =
+  let rec go () =
+    match Unix.accept listener with
+    | fd, _ ->
+        conns :=
+          { fd; pending_input = Buffer.create 256; alive = true; eof = false }
+          :: !conns;
+        go ()
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let serve ?shard config =
   (* A client that disconnects mid-response must cost the server one
      dropped connection, not a fatal SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   Dut_engine.Parallel.set_default_jobs config.jobs;
-  (match Unix.stat config.socket with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink config.socket
-  | _ -> failwith (config.socket ^ ": exists and is not a socket")
-  | exception Unix.Unix_error _ -> ());
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listener (Unix.ADDR_UNIX config.socket);
-  Unix.listen listener 64;
+  let listener = bind_listener config.socket in
   let git = Dut_obs.Manifest.git_describe () in
   let created_unix = Unix.time () in
   let started_ns = Dut_obs.Span.now_ns () in
   let publish status =
-    write_summary ~config ~status ~git ~created_unix ~started_ns
+    write_summary ?shard ~config ~status ~git ~created_unix ~started_ns ()
   in
   publish "serving";
   Printf.eprintf "dut: serving on %s (jobs=%d%s)\n%!" config.socket config.jobs
     (match config.cache with None -> ", cache off" | Some _ -> "");
+  (* Connections are prepended (O(1)); every traversal that must see
+     arrival order reverses once (O(n) per tick — the old
+     [!conns @ [c]] rebuild was O(n²) across n accepts). *)
   let conns = ref [] in
   let module Runner = Dut_experiments.Runner in
   Runner.with_sigint_guard (fun () ->
+      let buf = Bytes.create read_chunk_size in
       while not (Runner.interrupted ()) do
-        let fds = listener :: List.map (fun c -> c.fd) !conns in
-        match Unix.select fds [] [] 0.25 with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | readable, _, _ ->
-            if List.mem listener readable then begin
-              match Unix.accept listener with
-              | fd, _ ->
-                  conns :=
-                    !conns
-                    @ [ { fd; pending_input = Buffer.create 256; alive = true } ]
-              | exception Unix.Unix_error _ -> ()
-            end;
-            let buf = Bytes.create read_chunk_size in
-            (* Arrival order over all ready clients defines the batch
-               order; each response carries its request id, so clients
-               are insensitive to interleaving across connections. *)
-            let pending = ref [] in
-            let n_pending = ref 0 in
-            List.iter
-              (fun conn ->
-                if conn.alive && List.mem conn.fd readable then
-                  match Unix.read conn.fd buf 0 read_chunk_size with
-                  | 0 -> close_conn conn
-                  | len ->
-                      List.iter
-                        (fun line ->
-                          let request = Query.request_of_line line in
-                          if !n_pending >= config.max_pending then begin
-                            Dut_obs.Metrics.incr m_rejected;
-                            send conn
-                              (Query.response_line ~id:request.Query.id
-                                 (Query.error_payload
-                                    (Printf.sprintf
-                                       "server overloaded (%d requests \
-                                        pending); retry"
-                                       !n_pending)))
-                          end
-                          else begin
-                            incr n_pending;
-                            pending := (conn, request) :: !pending
-                          end)
-                        (take_lines conn buf len)
-                  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
-                      close_conn conn)
-              !conns;
-            (match List.rev !pending with
-            | [] -> ()
-            | batch ->
-                let requests = Array.of_list (List.map snd batch) in
-                let responses =
-                  handle_batch ?cache:config.cache
-                    ?deadline_s:config.deadline_s ~stamp:git ~jobs:config.jobs
-                    requests
-                in
-                (* Publish the refreshed summary before the responses go
-                   out: once a client has its answer, `dut obs-report`
-                   already accounts for it. *)
-                publish "serving";
-                List.iteri
-                  (fun i (conn, _) -> send conn responses.(i))
-                  batch);
-            conns := List.filter (fun c -> c.alive) !conns
+        let ordered = List.rev !conns in
+        let entries =
+          Array.of_list
+            ((listener, Poll.rd) :: List.map (fun c -> (c.fd, Poll.rd)) ordered)
+        in
+        let ready = Poll.wait ~timeout_ms:250 entries in
+        if ready.(0).Poll.read then accept_pending listener conns;
+        (* Arrival order over all ready clients defines the batch
+           order; each response carries its request id, so clients
+           are insensitive to interleaving across connections. *)
+        let pending = ref [] in
+        let n_pending = ref 0 in
+        List.iteri
+          (fun i conn ->
+            if conn.alive && ready.(i + 1).Poll.read then
+              let lines =
+                match Unix.read conn.fd buf 0 read_chunk_size with
+                | 0 ->
+                    conn.eof <- true;
+                    flush_pending conn
+                | len -> take_lines conn buf len
+                | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                    close_conn conn;
+                    []
+                | exception
+                    Unix.Unix_error
+                      ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+                    []
+              in
+              List.iter
+                (fun line ->
+                  let request = Query.request_of_line line in
+                  if !n_pending >= config.max_pending then begin
+                    Dut_obs.Metrics.incr m_rejected;
+                    send conn
+                      (Query.response_line ~id:request.Query.id
+                         (Query.error_payload
+                            (Printf.sprintf
+                               "server overloaded (%d requests pending); \
+                                retry"
+                               !n_pending)))
+                  end
+                  else begin
+                    incr n_pending;
+                    pending := (conn, request) :: !pending
+                  end)
+                lines)
+          ordered;
+        (match List.rev !pending with
+        | [] -> ()
+        | batch ->
+            let requests = Array.of_list (List.map snd batch) in
+            let responses =
+              handle_batch ?cache:config.cache ?deadline_s:config.deadline_s
+                ~stamp:git ~jobs:config.jobs requests
+            in
+            (* Publish the refreshed summary before the responses go
+               out: once a client has its answer, `dut obs-report`
+               already accounts for it. *)
+            publish "serving";
+            List.iteri (fun i (conn, _) -> send conn responses.(i)) batch);
+        (* Half-closed peers have their answers by now; finish the
+           close so they never re-enter the poll set. *)
+        List.iter (fun c -> if c.eof && c.alive then close_conn c) ordered;
+        conns := List.filter (fun c -> c.alive) !conns
       done);
   List.iter close_conn !conns;
   (try Unix.close listener with Unix.Unix_error _ -> ());

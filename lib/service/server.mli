@@ -30,7 +30,14 @@
       writes the final session summary and returns normally (the CLI
       exits 0); a second signal force-exits.
 
-    The session summary ([summary_path], schema [dut-service/2]) is
+    The connection loop waits on poll(2) (see {!Poll}), so the number
+    of concurrent clients is bounded by the fd ulimit, not
+    FD_SETSIZE, and each wake-up drains the whole accept queue. A peer
+    that half-closes after its last byte still gets every answer: the
+    unterminated tail of its input buffer is flushed through the line
+    semantics on EOF before the connection is reaped.
+
+    The session summary ([summary_path], schema [dut-service/3]) is
     rewritten atomically after every batch, so a live server can be
     inspected with [dut obs-report --manifest] at any time. Beyond the
     session counters it carries [qps] (requests over uptime),
@@ -71,9 +78,25 @@ val handle_batch :
     memo key (the server passes its git describe). Exposed for tests;
     {!serve} is this in a socket loop. *)
 
-val serve : config -> unit
-(** Bind the socket (replacing a stale file), loop until the first
-    SIGINT/SIGTERM, then drain and return. Prints one
-    ["serving on <socket>"] line to stderr when ready.
+val prepare_socket : string -> unit
+(** Make [path] bindable: a missing path is fine, a stale socket file
+    (connect refused) is unlinked, anything else refuses.
 
+    @raise Failure if a live server already answers on [path] (the
+    connect probe succeeds) or [path] exists and is not a socket —
+    starting anyway would steal the path from the running server. *)
+
+val bind_listener : string -> Unix.file_descr
+(** {!prepare_socket}, then bind, listen and set non-blocking: the
+    accept loop (here and in the {!Shard} router) drains the whole
+    queue per poll wake-up. *)
+
+val serve : ?shard:int -> config -> unit
+(** Bind the socket (replacing only a {e stale} file, per
+    {!prepare_socket}), loop until the first SIGINT/SIGTERM, then drain
+    and return. Prints one ["serving on <socket>"] line to stderr when
+    ready. [shard] stamps the summary with this worker's index when the
+    server runs as part of a {!Shard} fleet.
+
+    @raise Failure if a live server already owns the socket.
     @raise Unix.Unix_error if the socket cannot be bound. *)

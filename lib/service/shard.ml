@@ -1,0 +1,690 @@
+module J = Dut_obs.Json
+
+let fleet_schema = "dut-service-fleet/1"
+
+(* Router-side tallies. [shard.routed] counts requests forwarded to a
+   worker; the rest are answered at the router itself: parse failures
+   ([shard.local_errors], byte-identical to the single server's error
+   responses) and requests whose shard is gone ([shard.dead_rejects]).
+   [shard.stray_responses] counts worker lines with no matching
+   in-flight id — a worker bug surfacing as telemetry, never a hang. *)
+let m_routed = Dut_obs.Metrics.counter "shard.routed"
+
+let m_local_errors = Dut_obs.Metrics.counter "shard.local_errors"
+
+let m_dead_rejects = Dut_obs.Metrics.counter "shard.dead_rejects"
+
+let m_stray = Dut_obs.Metrics.counter "shard.stray_responses"
+
+(* -- Consistent-hash ring ------------------------------------------------ *)
+
+(* 63-bit point from the MD5 of a string: stable across runs, processes
+   and architectures — the property the shared memo store leans on
+   (same canonical bytes, same shard, forever). *)
+let point_of s =
+  let d = Digest.string s in
+  let b i = Char.code d.[i] in
+  (b 0 lsl 55) lor (b 1 lsl 47) lor (b 2 lsl 39) lor (b 3 lsl 31)
+  lor (b 4 lsl 23) lor (b 5 lsl 15) lor (b 6 lsl 7) lor (b 7 lsr 1)
+
+let vnodes = 64
+
+type ring = { points : (int * int) array  (* sorted (point, shard) *) }
+
+let ring ~shards =
+  if shards < 1 then invalid_arg "Shard.ring: shards < 1";
+  let points =
+    Array.init (shards * vnodes) (fun i ->
+        let shard = i / vnodes and v = i mod vnodes in
+        (point_of (Printf.sprintf "shard:%d:%d" shard v), shard))
+  in
+  Array.sort compare points;
+  { points }
+
+(* First ring point clockwise of the key's point (wrapping): adding a
+   shard only captures the keys whose new successor belongs to it, so
+   growing the fleet remaps ~1/N of the keyspace instead of all of it. *)
+let lookup ring key =
+  let p = point_of key in
+  let n = Array.length ring.points in
+  let rec bsearch lo hi =
+    (* smallest index with point >= p, or n *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst ring.points.(mid) >= p then bsearch lo mid else bsearch (mid + 1) hi
+  in
+  let i = bsearch 0 n in
+  snd ring.points.(if i = n then 0 else i)
+
+let rings : (int, ring) Hashtbl.t = Hashtbl.create 4
+
+let shard_of_key ~shards key =
+  let r =
+    match Hashtbl.find_opt rings shards with
+    | Some r -> r
+    | None ->
+        let r = ring ~shards in
+        Hashtbl.add rings shards r;
+        r
+  in
+  lookup r key
+
+(* -- Worker paths -------------------------------------------------------- *)
+
+let shard_socket base i = Printf.sprintf "%s.shard%d" base i
+
+let shard_summary base i = Printf.sprintf "%s.shard%d" base i
+
+(* -- In-process routing model (the spec the socket router implements) --- *)
+
+let route_batch ?caches ?deadline_s ?stamp ~jobs ~shards
+    (requests : Query.request array) =
+  let ring = ring ~shards in
+  let n = Array.length requests in
+  let where =
+    Array.map
+      (fun (r : Query.request) ->
+        match r.query with
+        | Ok q -> lookup ring (Query.canonical q)
+        | Error _ -> -1)
+      requests
+  in
+  let responses = Array.make n "" in
+  (* Shard partitions evaluate independently (each preserving request
+     order within the partition, exactly like one worker's batch); the
+     responses land back in request slots, so the reassembled array is
+     ordered as if one server had handled the whole batch. *)
+  for s = 0 to shards - 1 do
+    let idxs = ref [] in
+    for i = n - 1 downto 0 do
+      if where.(i) = s then idxs := i :: !idxs
+    done;
+    match !idxs with
+    | [] -> ()
+    | idxs ->
+        let sub = Array.of_list (List.map (fun i -> requests.(i)) idxs) in
+        let cache =
+          match caches with Some a -> a.(s) | None -> None
+        in
+        let resp = Server.handle_batch ?cache ?deadline_s ?stamp ~jobs sub in
+        List.iteri (fun j i -> responses.(i) <- resp.(j)) idxs
+  done;
+  Array.iteri
+    (fun i (r : Query.request) ->
+      if where.(i) = -1 then begin
+        let msg = match r.query with Error m -> m | Ok _ -> assert false in
+        Dut_obs.Metrics.incr m_local_errors;
+        responses.(i) <-
+          Query.response_line ~id:r.Query.id
+            (Query.error_payload ("bad query: " ^ msg))
+      end)
+    requests;
+  responses
+
+(* -- Fleet orchestration ------------------------------------------------- *)
+
+type outq = { out : Buffer.t; mutable out_start : int }
+
+let new_outq () = { out = Buffer.create 256; out_start = 0 }
+
+let q_empty q = q.out_start >= Buffer.length q.out
+
+let q_push q s = Buffer.add_string q.out s
+
+(* Non-blocking flush; [`Closed] when the peer is gone. A fully-drained
+   buffer is reset so it never grows without bound. *)
+let q_flush fd q =
+  let result = ref `Done in
+  (try
+     while not (q_empty q) && !result = `Done do
+       let len = min 65536 (Buffer.length q.out - q.out_start) in
+       let chunk = Buffer.sub q.out q.out_start len in
+       match Unix.write_substring fd chunk 0 len with
+       | written ->
+           q.out_start <- q.out_start + written;
+           if written < len then result := `More
+       | exception
+           Unix.Unix_error
+             ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+           result := `More
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+     result := `Closed);
+  if q_empty q then begin
+    Buffer.clear q.out;
+    q.out_start <- 0
+  end;
+  !result
+
+type cconn = {
+  c_fd : Unix.file_descr;
+  c_in : Buffer.t;
+  c_q : outq;
+  mutable c_alive : bool;
+  mutable c_eof : bool;
+  mutable c_inflight : int;  (* routed requests not yet answered *)
+}
+
+type wconn = {
+  w_shard : int;
+  w_pid : int;
+  w_socket : string;
+  w_summary : string;
+  mutable w_fd : Unix.file_descr option;  (* None once dead *)
+  w_in : Buffer.t;
+  w_q : outq;
+}
+
+type route = { r_client : cconn; r_client_id : int; r_shard : int }
+
+let take_lines buf (bytes : Bytes.t) len =
+  Buffer.add_subbytes buf bytes 0 len;
+  let data = Buffer.contents buf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buf;
+      Buffer.add_string buf
+        (String.sub data (last + 1) (String.length data - last - 1));
+      String.split_on_char '\n' (String.sub data 0 last)
+      |> List.filter (fun l -> String.trim l <> "")
+
+let flush_trailing buf =
+  let data = Buffer.contents buf in
+  Buffer.clear buf;
+  if String.trim data = "" then [] else [ data ]
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+(* -- Fleet summary ------------------------------------------------------- *)
+
+let num_field j name =
+  match J.field_opt j name with
+  | Some (J.Num f) when Float.is_integer f -> int_of_float f
+  | _ -> 0
+
+let fleet_summary ~(config : Server.config) ~status ~git ~created_unix
+    ~started_ns ~workers =
+  let uptime_seconds =
+    float_of_int (Dut_obs.Span.now_ns () - started_ns) /. 1e9
+  in
+  let summaries =
+    List.map
+      (fun w ->
+        ( w,
+          Option.bind (read_file w.w_summary) (fun s ->
+              match J.parse (String.trim s) with
+              | exception J.Malformed _ -> None
+              | j -> Some j) ))
+      workers
+  in
+  let sum name =
+    List.fold_left
+      (fun acc (_, j) ->
+        match j with Some j -> acc + num_field j name | None -> acc)
+      0 summaries
+  in
+  let latency = Dut_obs.Histogram.create () in
+  List.iter
+    (fun (_, j) ->
+      match Option.bind j (fun j -> J.field_opt j "latency_buckets") with
+      | Some buckets -> (
+          match Dut_obs.Histogram.of_json buckets with
+          | h -> Dut_obs.Histogram.merge_into ~into:latency h
+          | exception J.Malformed _ -> ())
+      | None -> ())
+    summaries;
+  let requests = sum "requests" in
+  let hits = sum "cache_hits" and misses = sum "cache_misses" in
+  let alive =
+    List.fold_left
+      (fun acc w -> if w.w_fd <> None then acc + 1 else acc)
+      0 workers
+  in
+  let count name = J.int (Dut_obs.Metrics.value name) in
+  J.Obj
+    [
+      ("schema", J.Str fleet_schema);
+      ("command", J.Str "serve");
+      ("status", J.Str status);
+      ("socket", J.Str config.Server.socket);
+      ("shards", J.int (List.length workers));
+      ("jobs", J.int config.Server.jobs);
+      ("pid", J.int (Unix.getpid ()));
+      ("git", J.Str git);
+      ("created_unix", J.Num created_unix);
+      ("uptime_seconds", J.Num uptime_seconds);
+      ( "router",
+        J.Obj
+          [
+            ("routed", count "shard.routed");
+            ("local_errors", count "shard.local_errors");
+            ("dead_rejects", count "shard.dead_rejects");
+            ("stray_responses", count "shard.stray_responses");
+            ("shards_live", J.int alive);
+          ] );
+      ( "workers",
+        J.Arr
+          (List.map
+             (fun (w, j) ->
+               J.Obj
+                 [
+                   ("shard", J.int w.w_shard);
+                   ("pid", J.int w.w_pid);
+                   ("socket", J.Str w.w_socket);
+                   ("summary", J.Str w.w_summary);
+                   ("alive", J.Bool (w.w_fd <> None));
+                   ( "status",
+                     match Option.bind j (fun j -> J.field_opt j "status") with
+                     | Some s -> s
+                     | None -> J.Null );
+                 ])
+             summaries) );
+      (* Worker sums only: the router's own local answers live under
+         "router" above, so the two sections reconcile independently
+         against the per-shard summaries. *)
+      ( "aggregate",
+        J.Obj
+          [
+            ("requests", J.int requests);
+            ("batches", J.int (sum "batches"));
+            ("errors", J.int (sum "errors"));
+            ("rejected", J.int (sum "rejected"));
+            ("cache_hits", J.int hits);
+            ("cache_misses", J.int misses);
+            ( "cache_hit_ratio",
+              if hits + misses = 0 then J.Null
+              else J.Num (float_of_int hits /. float_of_int (hits + misses)) );
+            ( "qps",
+              if uptime_seconds > 0. then
+                J.Num (float_of_int requests /. uptime_seconds)
+              else J.Null );
+            ("latency_ns", Dut_obs.Histogram.summary_json latency);
+          ] );
+    ]
+
+let write_fleet_summary ~config ~status ~git ~created_unix ~started_ns ~workers
+    =
+  let content =
+    J.to_string
+      (fleet_summary ~config ~status ~git ~created_unix ~started_ns ~workers)
+    ^ "\n"
+  in
+  try
+    Dut_obs.Manifest.write_atomic ~path:config.Server.summary_path content
+  with Sys_error msg ->
+    Printf.eprintf "dut: cannot write fleet summary: %s\n%!" msg
+
+(* -- The router ---------------------------------------------------------- *)
+
+let connect_retrying path =
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.set_nonblock fd;
+        Some fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if tries >= 400 then None
+        else begin
+          Unix.sleepf 0.025;
+          go (tries + 1)
+        end
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go 0
+
+let response_id line =
+  match J.parse line with
+  | exception J.Malformed _ -> None
+  | j -> (
+      match J.field_opt j "id" with
+      | Some (J.Num f) when Float.is_integer f -> Some (int_of_float f)
+      | _ -> None)
+
+(* Re-key a worker response line with the client's id. Worker lines are
+   [Query.response_line] output — "{\"id\":N," then the payload bytes
+   verbatim — so splicing at the first comma reproduces exactly the
+   bytes the single-process server would have sent. *)
+let rekey_response ~client_id line =
+  match String.index_opt line ',' with
+  | Some comma ->
+      Printf.sprintf "{\"id\":%d,%s" client_id
+        (String.sub line (comma + 1) (String.length line - comma - 1))
+  | None -> Printf.sprintf "{\"id\":%d}" client_id
+
+let serve_fleet ~shards (config : Server.config) =
+  if shards < 1 then invalid_arg "Shard.serve_fleet: shards < 1";
+  if shards = 1 then Server.serve config
+  else begin
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    (* Claim the public path before forking: a second fleet racing for
+       the same socket must refuse before it spawns anything. *)
+    let listener = Server.bind_listener config.Server.socket in
+    let git = Dut_obs.Manifest.git_describe () in
+    let created_unix = Unix.time () in
+    let started_ns = Dut_obs.Span.now_ns () in
+    (* Workers fork before the parent touches any engine state: OCaml 5
+       domains do not survive fork, so the split must happen while both
+       sides are still single-domain. Each child is a complete PR-5
+       server on its own socket; they share only the on-disk memo
+       directory, which Memo's write-once discipline makes safe. *)
+    let spawn i =
+      let wconfig =
+        {
+          config with
+          Server.socket = shard_socket config.Server.socket i;
+          summary_path = shard_summary config.Server.summary_path i;
+        }
+      in
+      match Unix.fork () with
+      | 0 ->
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          let code =
+            try
+              Server.serve ~shard:i wconfig;
+              0
+            with e ->
+              Printf.eprintf "dut: shard %d: %s\n%!" i (Printexc.to_string e);
+              1
+          in
+          Unix._exit code
+      | pid -> pid
+    in
+    let pids = Array.init shards spawn in
+    let kill_workers signal =
+      Array.iter
+        (fun pid -> try Unix.kill pid signal with Unix.Unix_error _ -> ())
+        pids
+    in
+    let workers =
+      Array.to_list
+        (Array.init shards (fun i ->
+             match connect_retrying (shard_socket config.Server.socket i) with
+             | Some fd ->
+                 {
+                   w_shard = i;
+                   w_pid = pids.(i);
+                   w_socket = shard_socket config.Server.socket i;
+                   w_summary = shard_summary config.Server.summary_path i;
+                   w_fd = Some fd;
+                   w_in = Buffer.create 4096;
+                   w_q = new_outq ();
+                 }
+             | None ->
+                 kill_workers Sys.sigterm;
+                 Array.iter
+                   (fun pid ->
+                     try ignore (Unix.waitpid [] pid)
+                     with Unix.Unix_error _ -> ())
+                   pids;
+                 failwith
+                   (Printf.sprintf "shard %d never came up on %s" i
+                      (shard_socket config.Server.socket i))))
+    in
+    let warr = Array.of_list workers in
+    let routing = ring ~shards in
+    let routes : (int, route) Hashtbl.t = Hashtbl.create 256 in
+    let next_rid = ref 0 in
+    let clients = ref [] in
+    let dirty = ref false in
+    let last_publish = ref 0. in
+    let publish ?(force = false) status =
+      let now = Unix.gettimeofday () in
+      if force || (!dirty && now -. !last_publish > 0.25) then begin
+        write_fleet_summary ~config ~status ~git ~created_unix ~started_ns
+          ~workers;
+        dirty := false;
+        last_publish := now
+      end
+    in
+    let respond_local client id payload =
+      if client.c_alive then q_push client.c_q (Query.response_line ~id payload ^ "\n");
+      dirty := true
+    in
+    (* A worker vanishing mid-batch fails exactly the requests routed to
+       it — in flight now, or arriving while it is down — with an error
+       naming the shard; every other shard keeps answering. *)
+    let mark_dead w =
+      (match w.w_fd with
+      | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      w.w_fd <- None;
+      let dead = ref [] in
+      Hashtbl.iter
+        (fun rid route -> if route.r_shard = w.w_shard then dead := (rid, route) :: !dead)
+        routes;
+      List.iter
+        (fun (rid, route) ->
+          Hashtbl.remove routes rid;
+          Dut_obs.Metrics.incr m_dead_rejects;
+          route.r_client.c_inflight <- route.r_client.c_inflight - 1;
+          respond_local route.r_client route.r_client_id
+            (Query.error_payload
+               (Printf.sprintf "shard %d died mid-batch; retry" w.w_shard)))
+        !dead
+    in
+    let handle_client_line client line =
+      let request = Query.request_of_line line in
+      match request.Query.query with
+      | Error msg ->
+          Dut_obs.Metrics.incr m_local_errors;
+          respond_local client request.Query.id
+            (Query.error_payload ("bad query: " ^ msg))
+      | Ok q -> (
+          let s = lookup routing (Query.canonical q) in
+          match warr.(s).w_fd with
+          | None ->
+              Dut_obs.Metrics.incr m_dead_rejects;
+              respond_local client request.Query.id
+                (Query.error_payload
+                   (Printf.sprintf "shard %d unavailable; retry" s))
+          | Some _ ->
+              let rid = !next_rid in
+              incr next_rid;
+              Hashtbl.add routes rid
+                { r_client = client; r_client_id = request.Query.id; r_shard = s };
+              client.c_inflight <- client.c_inflight + 1;
+              Dut_obs.Metrics.incr m_routed;
+              q_push warr.(s).w_q (Query.request_to_line ~id:rid q ^ "\n"))
+    in
+    let handle_worker_line w line =
+      match response_id line with
+      | None -> Dut_obs.Metrics.incr m_stray
+      | Some rid -> (
+          match Hashtbl.find_opt routes rid with
+          | None -> Dut_obs.Metrics.incr m_stray
+          | Some route ->
+              Hashtbl.remove routes rid;
+              route.r_client.c_inflight <- route.r_client.c_inflight - 1;
+              if route.r_client.c_alive then
+                q_push route.r_client.c_q
+                  (rekey_response ~client_id:route.r_client_id line ^ "\n");
+              dirty := true;
+              ignore w)
+    in
+    let close_client c =
+      c.c_alive <- false;
+      try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+    in
+    let accept_pending () =
+      let rec go () =
+        match Unix.accept listener with
+        | fd, _ ->
+            Unix.set_nonblock fd;
+            clients :=
+              {
+                c_fd = fd;
+                c_in = Buffer.create 256;
+                c_q = new_outq ();
+                c_alive = true;
+                c_eof = false;
+                c_inflight = 0;
+              }
+              :: !clients;
+            go ()
+        | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+            ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+            go ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      go ()
+    in
+    let buf = Bytes.create 65536 in
+    (* One router tick: poll everything, accept, shuttle lines both
+       ways, flush what can be flushed. [accepting] is false during the
+       shutdown drain. *)
+    let tick ~accepting =
+      let ordered = List.rev !clients in
+      let live_workers = List.filter (fun w -> w.w_fd <> None) workers in
+      let entries =
+        Array.of_list
+          ((if accepting then [ (listener, Poll.rd) ] else [])
+          @ List.map
+              (fun c ->
+                (c.c_fd, if q_empty c.c_q then Poll.rd else Poll.rw))
+              ordered
+          @ List.map
+              (fun w ->
+                ( Option.get w.w_fd,
+                  if q_empty w.w_q then Poll.rd else Poll.rw ))
+              live_workers)
+      in
+      let ready = Poll.wait ~timeout_ms:250 entries in
+      let base = if accepting then 1 else 0 in
+      if accepting && ready.(0).Poll.read then accept_pending ();
+      List.iteri
+        (fun i c ->
+          let r = ready.(base + i) in
+          if c.c_alive && r.Poll.read then begin
+            let lines =
+              match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+              | 0 ->
+                  c.c_eof <- true;
+                  flush_trailing c.c_in
+              | len -> take_lines c.c_in buf len
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                  close_client c;
+                  []
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+                  []
+            in
+            List.iter (handle_client_line c) lines
+          end;
+          if c.c_alive && (r.Poll.write || not (q_empty c.c_q)) then
+            match q_flush c.c_fd c.c_q with
+            | `Closed -> close_client c
+            | `Done | `More -> ())
+        ordered;
+      let nclients = List.length ordered in
+      List.iteri
+        (fun i w ->
+          let r = ready.(base + nclients + i) in
+          match w.w_fd with
+          | None -> ()
+          | Some fd ->
+              (if r.Poll.read then
+                 let lines =
+                   match Unix.read fd buf 0 (Bytes.length buf) with
+                   | 0 ->
+                       mark_dead w;
+                       []
+                   | len -> take_lines w.w_in buf len
+                   | exception
+                       Unix.Unix_error
+                         ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                       mark_dead w;
+                       []
+                   | exception
+                       Unix.Unix_error
+                         ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+                     ->
+                       []
+                 in
+                 List.iter (handle_worker_line w) lines);
+              (match w.w_fd with
+              | Some fd when r.Poll.write || not (q_empty w.w_q) -> (
+                  match q_flush fd w.w_q with
+                  | `Closed -> mark_dead w
+                  | `Done | `More -> ())
+              | _ -> ()))
+        live_workers;
+      (* Reap clients that are done: half-closed with every routed
+         request answered and every byte flushed. *)
+      List.iter
+        (fun c ->
+          if c.c_alive && c.c_eof && c.c_inflight = 0 && q_empty c.c_q then
+            close_client c)
+        ordered;
+      clients := List.filter (fun c -> c.c_alive) !clients
+    in
+    let module Runner = Dut_experiments.Runner in
+    Printf.eprintf "dut: fleet of %d shards on %s (jobs=%d per shard)\n%!"
+      shards config.Server.socket config.Server.jobs;
+    publish ~force:true "serving";
+    Runner.with_sigint_guard (fun () ->
+        while not (Runner.interrupted ()) do
+          tick ~accepting:true;
+          publish "serving"
+        done;
+        (* Shutdown: stop accepting, pass the signal on, then keep
+           relaying until every in-flight request is answered or its
+           worker is gone (bounded by a 10s grace period). *)
+        (try Unix.close listener with Unix.Unix_error _ -> ());
+        (try Unix.unlink config.Server.socket with Unix.Unix_error _ -> ());
+        kill_workers Sys.sigint;
+        let grace_until = Unix.gettimeofday () +. 10. in
+        while
+          (Hashtbl.length routes > 0
+          || List.exists (fun c -> c.c_alive && not (q_empty c.c_q)) !clients)
+          && List.exists (fun w -> w.w_fd <> None) workers
+          && Unix.gettimeofday () < grace_until
+        do
+          tick ~accepting:false
+        done;
+        (* Anything still unanswered loses its worker's reply: fill the
+           slot so no client is left hanging. *)
+        let leftovers = Hashtbl.fold (fun rid r acc -> (rid, r) :: acc) routes [] in
+        List.iter
+          (fun (rid, route) ->
+            Hashtbl.remove routes rid;
+            Dut_obs.Metrics.incr m_dead_rejects;
+            respond_local route.r_client route.r_client_id
+              (Query.error_payload "fleet shutting down; response dropped"))
+          leftovers;
+        List.iter
+          (fun c ->
+            if c.c_alive then ignore (q_flush c.c_fd c.c_q);
+            close_client c)
+          !clients;
+        List.iter
+          (fun w ->
+            match w.w_fd with
+            | Some fd ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                w.w_fd <- None
+            | None -> ())
+          workers);
+    Array.iter
+      (fun pid ->
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      pids;
+    write_fleet_summary ~config ~status:"closed" ~git ~created_unix ~started_ns
+      ~workers;
+    Printf.eprintf "dut: fleet drained — summary at %s\n%!"
+      config.Server.summary_path
+  end

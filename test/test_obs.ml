@@ -200,6 +200,30 @@ let test_histogram_small_values_exact () =
     (Json.Obj [ ("count", Json.Num 0.) ])
     (Histogram.summary_json (Histogram.create ()))
 
+let prop_hist_json_roundtrip =
+  QCheck.Test.make
+    ~name:"to_json/of_json is an exact roundtrip (the fleet-merge codec)"
+    ~count:200
+    QCheck.(list (int_bound 1_000_000_000))
+    (fun vs ->
+      let h = hist_of_list vs in
+      Histogram.equal h (Histogram.of_json (Histogram.to_json h)))
+
+let test_histogram_json_malformed () =
+  List.iter
+    (fun j ->
+      match Histogram.of_json j with
+      | exception Json.Malformed _ -> ()
+      | _ -> Alcotest.failf "accepted malformed buckets %s" (Json.to_string j))
+    [
+      Json.Num 3.;
+      Json.Arr [ Json.Num 1. ];
+      Json.Arr [ Json.Arr [ Json.Num 1. ] ];
+      Json.Arr [ Json.Arr [ Json.Num (-1.); Json.Num 2. ] ];
+      Json.Arr [ Json.Arr [ Json.Num 1e9; Json.Num 2. ] ];
+      Json.Arr [ Json.Arr [ Json.Num 1.; Json.Num (-2.) ] ];
+    ]
+
 let pool_task_hist_delta ~jobs ~tasks =
   let before = Histogram.count (Metrics.histogram_value "pool.task_ns") in
   let pool = Dut_engine.Pool.create ~jobs in
@@ -542,12 +566,15 @@ let () =
         [
           Alcotest.test_case "small values exact" `Quick
             test_histogram_small_values_exact;
+          Alcotest.test_case "malformed bucket json rejected" `Quick
+            test_histogram_json_malformed;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [
               prop_hist_merge_assoc_comm;
               prop_hist_buckets_bracket;
               prop_hist_quantile_brackets_exact;
+              prop_hist_json_roundtrip;
             ] );
       ( "clock",
         [

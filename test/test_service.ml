@@ -205,6 +205,218 @@ let test_memo_corruption_is_a_miss () =
   Alcotest.(check (option string))
     "corrupt entry is a miss" None (Memo.find m2 ~key:"k")
 
+let test_memo_write_once_sequential () =
+  with_temp_dir @@ fun dir ->
+  let races0 = counter "cache.store_races"
+  and fails0 = counter "cache.write_failures" in
+  let m1 = Memo.create ~capacity:8 ~dir:(Some dir) () in
+  Memo.store m1 ~key:"k" "first-payload";
+  (* A second instance storing the same key finds it already published:
+     a counted no-op, not a write failure, and never an overwrite. *)
+  let m2 = Memo.create ~capacity:8 ~dir:(Some dir) () in
+  Memo.store m2 ~key:"k" "second-payload";
+  Alcotest.(check int) "race counted" (races0 + 1)
+    (counter "cache.store_races");
+  Alcotest.(check int) "no write failure" fails0
+    (counter "cache.write_failures");
+  let m3 = Memo.create ~capacity:8 ~dir:(Some dir) () in
+  Alcotest.(check (option string))
+    "first store won" (Some "first-payload")
+    (Memo.find m3 ~key:"k")
+
+(* Two processes hammering the same keys — shards of a fleet sharing
+   one store. Must run before anything creates pool domains: forking
+   an OCaml 5 runtime with live domains is unsafe. *)
+let test_memo_write_once_concurrent () =
+  with_temp_dir @@ fun dir ->
+  let fails0 = counter "cache.write_failures" in
+  let keys = 100 in
+  let spawn payload =
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try
+            let m = Memo.create ~capacity:8 ~dir:(Some dir) () in
+            for i = 0 to keys - 1 do
+              Memo.store m ~key:(string_of_int i) payload
+            done;
+            0
+          with _ -> 1
+        in
+        Unix._exit code
+    | pid -> pid
+  in
+  let a = spawn "payload-A" in
+  let b = spawn "payload-B" in
+  let status pid = snd (Unix.waitpid [] pid) in
+  let sa = status a and sb = status b in
+  Alcotest.(check bool) "both writers exited cleanly" true
+    (sa = Unix.WEXITED 0 && sb = Unix.WEXITED 0);
+  (* Exactly one intact winner per key: one file, bytes of one writer,
+     never torn. *)
+  Alcotest.(check int) "one file per key" keys
+    (Array.length (Sys.readdir dir));
+  let m = Memo.create ~capacity:(2 * keys) ~dir:(Some dir) () in
+  for i = 0 to keys - 1 do
+    match Memo.find m ~key:(string_of_int i) with
+    | Some ("payload-A" | "payload-B") -> ()
+    | Some other -> Alcotest.failf "key %d: torn payload %S" i other
+    | None -> Alcotest.failf "key %d: no winner published" i
+  done;
+  Alcotest.(check int) "no write failures in the parent" fails0
+    (counter "cache.write_failures")
+
+(* -- Socket liveness probe ----------------------------------------------- *)
+
+let test_socket_liveness_probe () =
+  let path = Filename.temp_file "dut_sock" "" in
+  Sys.remove path;
+  (* A live listener on the path: starting a second server here would
+     steal the socket from under it, so prepare_socket must refuse. *)
+  let listener = Server.bind_listener path in
+  (match Server.prepare_socket path with
+  | () -> Alcotest.fail "prepare_socket accepted a live socket"
+  | exception Failure msg ->
+      Alcotest.(check bool) "refusal names the running server" true
+        (Astring.String.is_infix ~affix:"running server" msg));
+  Alcotest.(check bool) "live socket file untouched" true
+    (Sys.file_exists path);
+  Unix.close listener;
+  (* The same file with its server gone is stale: silently unlinked. *)
+  Server.prepare_socket path;
+  Alcotest.(check bool) "stale socket unlinked" false (Sys.file_exists path);
+  (* A non-socket at the path is never deleted. *)
+  let oc = open_out path in
+  close_out oc;
+  (match Server.prepare_socket path with
+  | () -> Alcotest.fail "prepare_socket accepted a non-socket"
+  | exception Failure msg ->
+      Alcotest.(check bool) "refusal says not a socket" true
+        (Astring.String.is_infix ~affix:"not a socket" msg));
+  Alcotest.(check bool) "non-socket file untouched" true
+    (Sys.file_exists path);
+  Sys.remove path
+
+(* -- Client timeout and duplicate responses ------------------------------ *)
+
+(* A stub server (forked, so: before any pool test) that answers id 0
+   twice and never answers id 1 — the client must count the duplicate
+   as a no-op, fill the missing slot with the "no response received"
+   payload at the deadline, and exit 2. *)
+let test_client_timeout_and_duplicates () =
+  let path = Filename.temp_file "dut_stub" "" in
+  Sys.remove path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 8;
+  let stub () =
+    let conn, _ = Unix.accept listener in
+    let buf = Bytes.create 4096 in
+    let seen = ref 0 in
+    while !seen < 2 do
+      match Unix.read conn buf 0 (Bytes.length buf) with
+      | 0 -> seen := 2
+      | n ->
+          for i = 0 to n - 1 do
+            if Bytes.get buf i = '\n' then incr seen
+          done
+    done;
+    let line = {|{"id":0,"status":"ok","value":1}|} ^ "\n" in
+    let payload = Bytes.of_string (line ^ line) in
+    ignore (Unix.write conn payload 0 (Bytes.length payload));
+    (* Hold the connection open so the client times out instead of
+       seeing EOF. *)
+    Unix.sleepf 5.;
+    Unix.close conn;
+    0
+  in
+  match Unix.fork () with
+  | 0 -> Unix._exit (try stub () with _ -> 1)
+  | pid ->
+      Unix.close listener;
+      let out_path = Filename.temp_file "dut_client" ".out" in
+      let oc = open_out out_path in
+      let dups0 = counter "service.duplicate_responses" in
+      let code =
+        Client.run ~timeout_s:0.5 ~socket:path ~out:oc
+          [
+            {|{"kind":"bound","name":"centralized","params":{"n":4096,"eps":0.25}}|};
+            {|{"kind":"bound","name":"centralized","params":{"n":2048,"eps":0.25}}|};
+          ]
+      in
+      close_out oc;
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      let ic = open_in out_path in
+      let out = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove out_path;
+      (try Sys.remove path with Sys_error _ -> ());
+      Alcotest.(check int) "timeout exits 2" 2 code;
+      Alcotest.(check int) "still one line per request" 2
+        (List.length
+           (List.filter
+              (fun l -> l <> "")
+              (String.split_on_char '\n' out)));
+      Alcotest.(check bool) "unanswered slot filled" true
+        (Astring.String.is_infix ~affix:"no response received" out);
+      Alcotest.(check bool) "answered slot kept the first response" true
+        (Astring.String.is_infix ~affix:{|"id":0,"status":"ok","value":1|} out);
+      Alcotest.(check int) "duplicate counted once" (dups0 + 1)
+        (counter "service.duplicate_responses")
+
+(* -- Consistent-hash ring ------------------------------------------------ *)
+
+let test_ring_range_and_determinism () =
+  for shards = 1 to 6 do
+    for i = 0 to 199 do
+      let key = Printf.sprintf "key-%d" i in
+      let s = Shard.shard_of_key ~shards key in
+      if s < 0 || s >= shards then
+        Alcotest.failf "shards=%d key %s: out of range %d" shards key s;
+      Alcotest.(check int) "deterministic" s (Shard.shard_of_key ~shards key)
+    done
+  done
+
+let test_ring_distribution () =
+  let shards = 4 and keys = 2000 in
+  let counts = Array.make shards 0 in
+  for i = 0 to keys - 1 do
+    let s = Shard.shard_of_key ~shards (Printf.sprintf "query-%d" i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d gets a fair share (%d of %d keys)" s c keys)
+        true
+        (c > keys / (shards * 4)))
+    counts
+
+let test_ring_growth_stability () =
+  (* Growing the fleet N -> N+1 must only move keys onto the new shard,
+     and only ~1/(N+1) of them (3x slack for hash variance) — the
+     property that makes re-sharding cheap for the shared store. *)
+  let keys = 2000 in
+  List.iter
+    (fun shards ->
+      let moved = ref 0 in
+      for i = 0 to keys - 1 do
+        let key = Printf.sprintf "query-%d" i in
+        let before = Shard.shard_of_key ~shards key in
+        let after = Shard.shard_of_key ~shards:(shards + 1) key in
+        if after <> before then begin
+          incr moved;
+          Alcotest.(check int) "a moved key lands on the new shard" shards
+            after
+        end
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d: %d of %d keys moved" shards !moved keys)
+        true
+        (!moved * (shards + 1) < 3 * keys))
+    [ 1; 2; 3; 4 ]
+
 (* -- handle_batch -------------------------------------------------------- *)
 
 let batch_of_lines lines =
@@ -285,6 +497,45 @@ let test_batch_deadline_isolated () =
     "over-budget query answers with a deadline error" true
     (Astring.String.is_infix ~affix:"deadline" responses.(0))
 
+(* -- route_batch: the fleet's determinism contract ----------------------- *)
+
+let test_route_batch_matches_single () =
+  let reqs = batch_of_lines (mixed_lines @ [ "not json" ]) in
+  let single = Server.handle_batch ~jobs:2 reqs in
+  List.iter
+    (fun shards ->
+      Alcotest.(check (array string))
+        (Printf.sprintf "shards=%d byte-identical to the single server"
+           shards)
+        single
+        (Shard.route_batch ~jobs:2 ~shards reqs))
+    [ 1; 2; 4 ]
+
+let test_route_batch_shared_store_replay () =
+  with_temp_dir @@ fun dir ->
+  let caches shards =
+    Array.init shards (fun _ ->
+        Some (Memo.create ~capacity:64 ~dir:(Some dir) ()))
+  in
+  let reqs = batch_of_lines mixed_lines in
+  let run shards =
+    Shard.route_batch ~caches:(caches shards) ~stamp:"test-stamp" ~jobs:2
+      ~shards reqs
+  in
+  let cold = run 3 in
+  let hits0 = counter "cache.hits" in
+  let warm = run 3 in
+  Alcotest.(check (array string)) "warm fleet replay byte-identical" cold
+    warm;
+  Alcotest.(check bool) "warm replay drew on the shared store" true
+    (counter "cache.hits" > hits0);
+  (* The store is keyed on canonical bytes, not shard layout: any other
+     shard count replays the same bytes from the same files. *)
+  Alcotest.(check (array string)) "shards=1 replays the fleet's store" cold
+    (run 1);
+  Alcotest.(check (array string)) "shards=4 replays the fleet's store" cold
+    (run 4)
+
 let () =
   Alcotest.run "dut_service"
     [
@@ -312,6 +563,27 @@ let () =
             test_memo_disk_persistence;
           Alcotest.test_case "corruption reads as miss" `Quick
             test_memo_corruption_is_a_miss;
+          Alcotest.test_case "write-once: sequential loser" `Quick
+            test_memo_write_once_sequential;
+          Alcotest.test_case "write-once: concurrent processes" `Quick
+            test_memo_write_once_concurrent;
+        ] );
+      (* The socket/fork suites stay ahead of anything touching the
+         engine pool: forking after OCaml 5 domains exist is unsafe. *)
+      ( "socket",
+        [
+          Alcotest.test_case "liveness probe" `Quick
+            test_socket_liveness_probe;
+          Alcotest.test_case "client timeout and duplicates" `Quick
+            test_client_timeout_and_duplicates;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "range and determinism" `Quick
+            test_ring_range_and_determinism;
+          Alcotest.test_case "distribution" `Quick test_ring_distribution;
+          Alcotest.test_case "growth stability" `Quick
+            test_ring_growth_stability;
         ] );
       ( "batch",
         [
@@ -322,5 +594,12 @@ let () =
           Alcotest.test_case "jobs-invariance" `Quick test_batch_jobs_invariant;
           Alcotest.test_case "deadline isolation" `Quick
             test_batch_deadline_isolated;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "route_batch == single server" `Quick
+            test_route_batch_matches_single;
+          Alcotest.test_case "shared-store replay across shard counts"
+            `Quick test_route_batch_shared_store_replay;
         ] );
     ]

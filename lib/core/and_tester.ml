@@ -1,4 +1,8 @@
-type t = { n : int; k : int; q : int; cutoff : int }
+(* The AND tester is the clique comparison graph under the AND referee:
+   all construction and decision logic lives in [Comparison_graph]; this
+   module keeps the historical API, names, and validation messages. *)
+
+type t = { n : int; k : int; q : int; g : Comparison_graph.t; cutoff : int }
 
 let make ~n ~eps ~k ~q =
   if n <= 0 || k <= 0 || q < 0 then invalid_arg "And_tester.make: bad sizes";
@@ -7,13 +11,15 @@ let make ~n ~eps ~k ~q =
      rejection probability (any alarm fires) comfortably under 1/3 (0.18: margin for Monte-Carlo noise and the
      Poisson/normal tail model). *)
   let false_alarm = Dut_stats.Tail.binomial_max_p ~k ~t:1 ~level:0.18 in
-  { n; k; q; cutoff = Local_stat.alarm_cutoff ~n ~q ~false_alarm }
+  let g = Comparison_graph.build ~q Comparison_graph.Clique in
+  { n; k; q; g; cutoff = Comparison_graph.alarm_cutoff ~n g ~false_alarm }
 
 let local_cutoff t = t.cutoff
 
 let accepts t rng source =
   let player ~index:_ _coins samples =
-    Local_stat.collisions_bounded ~n:t.n samples < t.cutoff
+    Local_stat.accepts_alarm ~cutoff:t.cutoff
+      (Comparison_graph.statistic ~n:t.n t.g samples)
   in
   Dut_protocol.Network.round_accept ~rng ~source ~k:t.k ~q:t.q ~player
     ~rule:Dut_protocol.Rule.And

@@ -43,33 +43,79 @@ let collisions_bounded ~n samples =
 
 let pairs q = float_of_int q *. float_of_int (q - 1) /. 2.
 
-let null_mean ~n ~q = pairs q /. float_of_int n
+let triples q =
+  let qf = float_of_int q in
+  qf *. (qf -. 1.) *. (qf -. 2.) /. 6.
 
-let far_mean ~n ~q ~eps = pairs q *. (1. +. (eps *. eps)) /. float_of_int n
+(* -- The edge-parameterized cutoff core --------------------------------
 
-let midpoint_cutoff ~n ~q ~eps =
-  pairs q *. (1. +. (eps *. eps /. 2.)) /. float_of_int n
+   Every collision-style statistic is a sum of edge indicators
+   1[X_i = X_j] over some comparison graph on the samples (Meir,
+   arXiv:2012.01882). Under the uniform null each edge fires with
+   probability 1/n and any two distinct edges are pairwise independent
+   (P[two shared-vertex edges both fire] = P[three samples equal]
+   = 1/n^2 = P for disjoint edges), so the mean and variance depend on
+   the graph only through its edge count; the third central moment
+   additionally sees the triangle count. The clique specializes to the
+   classic collision statistic: edges = C(q,2), triangles = C(q,3). *)
 
-let alarm_cutoff ~n ~q ~false_alarm =
-  let mean = null_mean ~n ~q in
+let null_mean_edges ~n ~edges = edges /. float_of_int n
+
+let far_mean_edges ~n ~edges ~eps = edges *. (1. +. (eps *. eps)) /. float_of_int n
+
+let midpoint_cutoff_edges ~n ~edges ~eps =
+  edges *. (1. +. (eps *. eps /. 2.)) /. float_of_int n
+
+let alarm_cutoff_edges ~n ~edges ~triangles ~false_alarm =
+  let mean = null_mean_edges ~n ~edges in
   if mean <= 50. then Dut_stats.Tail.count_cutoff ~mean ~p:false_alarm
   else begin
-    (* Beyond the Poisson regime the collision count is right-skewed past
-       normal: its third central moment is ~ mean + 6 C(q,3)/n^2 (the
-       extra term from index-sharing pair triangles, which matters once
-       q > n). Cornish-Fisher upper quantile with that skew. *)
-    let qf = float_of_int q and nf = float_of_int n in
+    (* Beyond the Poisson regime the edge-collision count is
+       right-skewed past normal: its third central moment is
+       ~ mean + 6T/n^2 where T is the graph's triangle count (a triangle
+       of edges fires together with probability 1/n^2, not 1/n^3; every
+       other edge triple factorizes). For the clique T = C(q,3), the
+       index-sharing pair triangles that matter once q > n.
+       Cornish-Fisher upper quantile with that skew. The quantile is
+       rounded up once — ceil(quantile + 0.5) double-rounded, inflating
+       the cutoff by 1 whenever the quantile landed on an integer. *)
+    let nf = float_of_int n in
     let sigma = sqrt (mean *. (1. -. (1. /. nf))) in
-    let triples = qf *. (qf -. 1.) *. (qf -. 2.) /. 6. in
-    let mu3 = mean +. (6. *. triples /. (nf *. nf)) in
+    let mu3 = mean +. (6. *. triangles /. (nf *. nf)) in
     let gamma = mu3 /. (sigma ** 3.) in
     let z = Dut_stats.Tail.normal_isf false_alarm in
     int_of_float
-      (ceil (mean +. (sigma *. (z +. (gamma *. ((z *. z) -. 1.) /. 6.))) +. 0.5))
+      (ceil (mean +. (sigma *. (z +. (gamma *. ((z *. z) -. 1.) /. 6.)))))
   end
 
+(* -- The shared comparison convention -----------------------------------
+
+   Accept iff the statistic is strictly below the cutoff; a statistic
+   that ties the cutoff rejects (alarms). Midpoint cutoffs are floats
+   compared in float space (exact: counts are far below 2^53); alarm
+   cutoffs are integers compared in integer space. Every tester — hand
+   written or graph-instantiated — must route its verdict through these
+   two functions so boundary counts can never diverge between paths. *)
+
+let accepts_midpoint ~cutoff count = float_of_int count < cutoff
+
+let accepts_alarm ~cutoff count = count < cutoff
+
+(* -- Clique instantiations ---------------------------------------------- *)
+
+let null_mean ~n ~q = null_mean_edges ~n ~edges:(pairs q)
+
+let far_mean ~n ~q ~eps = far_mean_edges ~n ~edges:(pairs q) ~eps
+
+let midpoint_cutoff ~n ~q ~eps = midpoint_cutoff_edges ~n ~edges:(pairs q) ~eps
+
+let alarm_cutoff ~n ~q ~false_alarm =
+  alarm_cutoff_edges ~n ~edges:(pairs q) ~triangles:(triples q) ~false_alarm
+
 let vote_midpoint ~n ~q ~eps samples =
-  float_of_int (collisions_bounded ~n samples) < midpoint_cutoff ~n ~q ~eps
+  accepts_midpoint ~cutoff:(midpoint_cutoff ~n ~q ~eps)
+    (collisions_bounded ~n samples)
 
 let vote_alarm ~n ~q ~false_alarm samples =
-  collisions_bounded ~n samples < alarm_cutoff ~n ~q ~false_alarm
+  accepts_alarm ~cutoff:(alarm_cutoff ~n ~q ~false_alarm)
+    (collisions_bounded ~n samples)

@@ -40,33 +40,55 @@ let envelope ~k ~u ~v lambda =
   done;
   !total
 
+(* Golden-section minimization with point reuse: each iteration
+   evaluates [f] once (the surviving interior point is carried over),
+   shrinking the bracket by 1/phi per step. Assumes [f] unimodal on
+   [lo, hi]; returns the smallest value seen. *)
+let golden_min f lo hi iters =
+  let inv_phi = (sqrt 5. -. 1.) /. 2. in
+  let rec go lo hi m1 f1 m2 f2 i =
+    if i = 0 then Float.min f1 f2
+    else if f1 < f2 then
+      (* Minimum in [lo, m2]: m1 becomes the new upper probe. *)
+      let m1' = lo +. ((1. -. inv_phi) *. (m2 -. lo)) in
+      go lo m2 m1' (f m1') m1 f1 (i - 1)
+    else
+      let m2' = m1 +. (inv_phi *. (hi -. m1)) in
+      go m1 hi m2 f2 m2' (f m2') (i - 1)
+  in
+  let m1 = lo +. ((1. -. inv_phi) *. (hi -. lo)) in
+  let m2 = lo +. (inv_phi *. (hi -. lo)) in
+  go lo hi m1 (f m1) m2 (f m2) iters
+
+let envelope_value ~k ~a0 ~a_far lambda =
+  check_inputs ~k ~a0 ~a_far;
+  if lambda < 0. || lambda > 1. then
+    invalid_arg "Rule_search: lambda out of [0,1]";
+  envelope ~k ~u:(layer_weights ~k a0) ~v:(far_layer_weights ~k a_far) lambda
+
 let best_rule_value ~k ~a0 ~a_far =
   check_inputs ~k ~a0 ~a_far;
   let u = layer_weights ~k a0 in
   let v = far_layer_weights ~k a_far in
-  (* The envelope is convex in lambda; minimize by golden-section over
-     [0,1] refined from a coarse grid. *)
+  (* The envelope is convex in lambda. Bracket the minimizer with a
+     201-point grid over [0,1] (the true minimizer lies within one grid
+     step of the best grid point), then refine by golden-section on
+     that one-step bracket. *)
   let f = envelope ~k ~u ~v in
+  let step = 1. /. 200. in
   let best = ref infinity in
   let best_l = ref 0.5 in
   for i = 0 to 200 do
-    let l = float_of_int i /. 200. in
+    let l = float_of_int i *. step in
     let value = f l in
     if value < !best then begin
       best := value;
       best_l := l
     end
   done;
-  let lo = Float.max 0. (!best_l -. 0.01) and hi = Float.min 1. (!best_l +. 0.01) in
-  let rec golden lo hi i =
-    if i = 0 then f ((lo +. hi) /. 2.)
-    else begin
-      let m1 = lo +. (0.382 *. (hi -. lo)) in
-      let m2 = lo +. (0.618 *. (hi -. lo)) in
-      if f m1 < f m2 then golden lo m2 (i - 1) else golden m1 hi (i - 1)
-    end
-  in
-  Float.min !best (golden lo hi 60)
+  let lo = Float.max 0. (!best_l -. step)
+  and hi = Float.min 1. (!best_l +. step) in
+  Float.min !best (golden_min f lo hi 40)
 
 let best_rule_value_integer ~k ~a0 ~a_far =
   check_inputs ~k ~a0 ~a_far;
@@ -125,3 +147,38 @@ let best_and_over_strategies ~ell ~q ~eps ~k =
       Float.max best (and_rule_value ~k ~a0 ~a_far))
     0.
     (strategy_family ~ell ~q)
+
+(* -- Graph-space strategies ---------------------------------------------
+   A comparison graph plus an alarm cutoff is a player function; its
+   truth table goes through the same exact-LP machinery as the built-in
+   collision acceptors (the clique at every cutoff IS the collision
+   family, which makes cross-checks free). *)
+
+let graph_acceptor ~ell ~q ~cutoff family =
+  let g = Comparison_graph.build ~q family in
+  (* Exact tuples hold (ell+1)-bit encoded elements: n = 2^(ell+1). *)
+  let n = 1 lsl (ell + 1) in
+  Exact.of_predicate ~ell ~q (fun tuple ->
+      Comparison_graph.statistic ~n g tuple < cutoff)
+
+let graph_strategy_family ~ell ~q families =
+  List.concat_map
+    (fun family ->
+      let g = Comparison_graph.build ~q family in
+      let m = Comparison_graph.edge_count g in
+      (* Cutoff m+1 accepts everything; still included as the "blind"
+         baseline the LP can mix against. *)
+      List.init (m + 1) (fun c ->
+          ( Printf.sprintf "graph-%s<%d" (Comparison_graph.family_name family)
+              (c + 1),
+            graph_acceptor ~ell ~q ~cutoff:(c + 1) family )))
+    families
+
+let best_over_graphs ~ell ~q ~eps ~k families =
+  List.fold_left
+    (fun (best, best_name) (name, g) ->
+      let a0, a_far = vote_probs g ~eps in
+      let value = best_rule_value ~k ~a0 ~a_far in
+      if value > best then (value, name) else (best, best_name))
+    (0., "-")
+    (graph_strategy_family ~ell ~q families)

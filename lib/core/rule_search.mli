@@ -24,9 +24,19 @@ val vote_probs : Exact.g -> eps:float -> float * float array
     uniform, and under every perturbation z (in {!Exact.iter_all_z}
     order). *)
 
+val envelope_value : k:int -> a0:float -> a_far:float array -> float -> float
+(** The dual λ-envelope max_t [λA(t) + (1−λ)R(t)] at one λ ∈ [0,1].
+    Convex in λ; {!best_rule_value} is its minimum. Exposed so tests
+    can pin both facts against the minimizer.
+
+    @raise Invalid_argument on inputs out of range. *)
+
 val best_rule_value : k:int -> a0:float -> a_far:float array -> float
 (** The LP value of max over all (possibly randomized) rules of
     min(accept-uniform, average reject-far), for k iid player bits.
+    Computed by minimizing the convex λ-envelope: a 201-point grid
+    brackets the minimizer, then golden-section (with point reuse)
+    refines within the one-step bracket.
 
     @raise Invalid_argument if [k <= 0], probabilities out of [0,1], or
     the far array is empty. *)
@@ -52,3 +62,31 @@ val best_over_strategies :
 
 val best_and_over_strategies : ell:int -> q:int -> eps:float -> k:int -> float
 (** Max of {!and_rule_value} over the same family. *)
+
+(** {2 Graph-space strategies}
+
+    Comparison-graph players for the exact-LP search: a graph family
+    plus an alarm cutoff defines a player function, tabulated through
+    {!Exact.of_predicate} like any other strategy. The clique at every
+    cutoff coincides with the collision-acceptor family, so the two
+    searches cross-check each other for free. *)
+
+val graph_acceptor :
+  ell:int -> q:int -> cutoff:int -> Comparison_graph.family -> Exact.g
+(** The player accepting iff the graph's edge-collision statistic is
+    strictly below [cutoff] (universe n = 2^(ell+1)). *)
+
+val graph_strategy_family :
+  ell:int -> q:int -> Comparison_graph.family list -> (string * Exact.g) list
+(** For each family, the acceptors at every cutoff 1 .. edge_count + 1,
+    named ["graph-<family><<cutoff>"]. *)
+
+val best_over_graphs :
+  ell:int ->
+  q:int ->
+  eps:float ->
+  k:int ->
+  Comparison_graph.family list ->
+  float * string
+(** Max of {!best_rule_value} over {!graph_strategy_family}, with the
+    winning strategy's name. *)

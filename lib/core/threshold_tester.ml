@@ -1,22 +1,36 @@
+(* Threshold testers are the clique comparison graph under a
+   reject-threshold referee (fixed or calibrated): statistics and
+   cutoffs come from [Comparison_graph]; this module keeps the
+   historical API, names, and validation messages. *)
+
 type style =
   | Majority of { referee_cutoff : int }
   | Fixed of { t : int; local_cutoff : int }
 
-type t = { n : int; eps : float; k : int; q : int; style : style }
+type t = {
+  n : int;
+  eps : float;
+  k : int;
+  q : int;
+  g : Comparison_graph.t;
+  style : style;
+}
 
 let check ~n ~eps ~k ~q =
   if n <= 0 || k <= 0 || q < 0 then invalid_arg "Threshold_tester: bad sizes";
   if eps <= 0. || eps >= 1. then invalid_arg "Threshold_tester: eps out of (0,1)"
 
-let reject_count_midpoint ~n ~eps ~q rng k =
+let clique ~q = Comparison_graph.build ~q Comparison_graph.Clique
+
+let reject_count_midpoint ~n ~eps g rng k =
   (* One uniform round's reject count with midpoint-cutoff players. *)
   let source = Dut_protocol.Network.uniform_source ~n in
-  let cutoff = Local_stat.midpoint_cutoff ~n ~q ~eps in
+  let cutoff = Comparison_graph.midpoint_cutoff ~n g ~eps in
   let player ~index:_ _coins samples =
-    float_of_int (Local_stat.collisions_bounded ~n samples) < cutoff
+    Local_stat.accepts_midpoint ~cutoff (Comparison_graph.statistic ~n g samples)
   in
   let round =
-    Dut_protocol.Network.round ~rng ~source ~k ~q ~player
+    Dut_protocol.Network.round ~rng ~source ~k ~q:(Comparison_graph.q g) ~player
       ~rule:Dut_protocol.Rule.Majority
   in
   Array.fold_left (fun acc v -> if v then acc else acc + 1) 0 round.votes
@@ -25,14 +39,15 @@ let make_majority ~n ~eps ~k ~q ~calibration_trials ~rng =
   check ~n ~eps ~k ~q;
   if calibration_trials <= 0 then
     invalid_arg "Threshold_tester.make_majority: trials <= 0";
+  let g = clique ~q in
   let calibration_rng = Dut_prng.Rng.split rng in
   let cutoff =
     Dut_protocol.Calibrate.reject_count_cutoff ~trials:calibration_trials
       calibration_rng
-      ~rejects:(fun r -> reject_count_midpoint ~n ~eps ~q r k)
+      ~rejects:(fun r -> reject_count_midpoint ~n ~eps g r k)
       ~level:0.2
   in
-  { n; eps; k; q; style = Majority { referee_cutoff = cutoff } }
+  { n; eps; k; q; g; style = Majority { referee_cutoff = cutoff } }
 
 let make_fixed ~n ~eps ~k ~q ~t =
   check ~n ~eps ~k ~q;
@@ -40,9 +55,10 @@ let make_fixed ~n ~eps ~k ~q ~t =
   (* The most detection-friendly per-player alarm rate that still keeps
      the referee's null rejection probability (>= t alarms) comfortably
      under 1/3 (0.18, leaving Monte-Carlo and tail-model margin). *)
+  let g = clique ~q in
   let false_alarm = Dut_stats.Tail.binomial_max_p ~k ~t ~level:0.18 in
-  let local_cutoff = Local_stat.alarm_cutoff ~n ~q ~false_alarm in
-  { n; eps; k; q; style = Fixed { t; local_cutoff } }
+  let local_cutoff = Comparison_graph.alarm_cutoff ~n g ~false_alarm in
+  { n; eps; k; q; g; style = Fixed { t; local_cutoff } }
 
 let referee_cutoff t =
   match t.style with
@@ -52,18 +68,18 @@ let referee_cutoff t =
 let accepts t rng source =
   (* Cutoffs are functions of the tester alone: computed here, once per
      round, not once per vote — the player closures compare against a
-     captured constant. [vote_midpoint] recomputed its float cutoff per
-     player; the captured value is the identical float, so verdicts are
-     unchanged. *)
+     captured constant. *)
   let player =
     match t.style with
     | Majority _ ->
-        let cutoff = Local_stat.midpoint_cutoff ~n:t.n ~q:t.q ~eps:t.eps in
+        let cutoff = Comparison_graph.midpoint_cutoff ~n:t.n t.g ~eps:t.eps in
         fun ~index:_ _coins samples ->
-          float_of_int (Local_stat.collisions_bounded ~n:t.n samples) < cutoff
+          Local_stat.accepts_midpoint ~cutoff
+            (Comparison_graph.statistic ~n:t.n t.g samples)
     | Fixed { local_cutoff; _ } ->
         fun ~index:_ _coins samples ->
-          Local_stat.collisions_bounded ~n:t.n samples < local_cutoff
+          Local_stat.accepts_alarm ~cutoff:local_cutoff
+            (Comparison_graph.statistic ~n:t.n t.g samples)
   in
   let rule = Dut_protocol.Rule.Reject_threshold (referee_cutoff t) in
   Dut_protocol.Network.round_accept ~rng ~source ~k:t.k ~q:t.q ~player ~rule

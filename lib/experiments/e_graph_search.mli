@@ -1,0 +1,6 @@
+(** T22: comparison-graph space search — measured critical q per graph
+    family against the clique baseline (edge-budget invariance), plus
+    the exact-LP best-rule search over graph strategies on a small
+    universe. *)
+
+val experiment : Exp.t

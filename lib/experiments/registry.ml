@@ -29,6 +29,7 @@ let all =
     E_rbit_divergence.experiment;
     E_open_problem.experiment;
     E_stream.experiment;
+    E_graph_search.experiment;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all

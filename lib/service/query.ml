@@ -1,4 +1,9 @@
-type tester = And | Threshold of int
+type graph_family = Clique | Matching | Bipartite | Regular of int
+
+type tester =
+  | And
+  | Threshold of int
+  | Graph of { family : graph_family; t : int }
 
 type t =
   | Bound of { name : string; params : (string * float) list }
@@ -68,9 +73,17 @@ let bound_names = List.map fst bounds_table
 
 (* -- Canonical JSON ----------------------------------------------------- *)
 
+let family_fields = function
+  | Clique -> [ ("family", J.Str "clique") ]
+  | Matching -> [ ("family", J.Str "matching") ]
+  | Bipartite -> [ ("family", J.Str "bipartite") ]
+  | Regular degree -> [ ("family", J.Str "regular"); ("degree", J.int degree) ]
+
 let tester_fields = function
   | And -> [ ("tester", J.Str "and") ]
   | Threshold t -> [ ("tester", J.Str "threshold"); ("t", J.int t) ]
+  | Graph { family; t } ->
+      (("tester", J.Str "graph") :: family_fields family) @ [ ("t", J.int t) ]
 
 let to_json = function
   | Bound { name; params } ->
@@ -145,14 +158,38 @@ let positive name i =
     raise (J.Malformed (Printf.sprintf "field %S: must be positive" name));
   i
 
+let parse_family j =
+  match J.want_str j "family" with
+  | "clique" -> Clique
+  | "matching" -> Matching
+  | "bipartite" -> Bipartite
+  | "regular" ->
+      let degree = positive "degree" (get_int j "degree") in
+      (* Odd degrees constrain q's parity (a d-regular graph needs q*d
+         even), which a critical-q bisection cannot honour; the wire
+         language keeps to even degrees. *)
+      if degree land 1 = 1 then
+        raise (J.Malformed "field \"degree\": must be even");
+      Regular degree
+  | s ->
+      raise
+        (J.Malformed
+           (Printf.sprintf
+              "field \"family\": unknown family %S (clique|matching|bipartite|regular)"
+              s))
+
 let parse_tester j =
   match J.want_str j "tester" with
   | "and" -> And
   | "threshold" -> Threshold (positive "t" (get_int j "t"))
+  | "graph" ->
+      let family = parse_family j in
+      Graph { family; t = positive "t" (get_int_opt j "t" ~default:1) }
   | s ->
       raise
         (J.Malformed
-           (Printf.sprintf "field \"tester\": unknown tester %S (and|threshold)" s))
+           (Printf.sprintf
+              "field \"tester\": unknown tester %S (and|threshold|graph)" s))
 
 let parse_mc j =
   let ell = positive "ell" (get_int j "ell") in
@@ -216,10 +253,29 @@ let of_json j =
 
 (* -- Evaluation --------------------------------------------------------- *)
 
+(* The graph seed is not part of the wire language: every served
+   Random_regular instance uses seed 1, so equal canonical queries keep
+   naming the same graph. *)
+let core_family = function
+  | Clique -> Dut_core.Comparison_graph.Clique
+  | Matching -> Dut_core.Comparison_graph.Matching
+  | Bipartite -> Dut_core.Comparison_graph.Bipartite
+  | Regular degree -> Dut_core.Comparison_graph.Random_regular { degree; seed = 1 }
+
 let make_tester tester ~n ~eps ~k q =
   match tester with
   | And -> Dut_core.And_tester.tester ~n ~eps ~k ~q
   | Threshold t -> Dut_core.Threshold_tester.tester_fixed ~n ~eps ~k ~q ~t
+  | Graph { family; t } ->
+      Dut_core.Comparison_graph.tester_fixed ~n ~eps ~k ~q ~t
+        (core_family family)
+
+(* A Regular-family critical search must not probe q <= degree, where
+   the graph does not exist; even degrees put no parity constraint on
+   q, so degree + 1 is the least feasible q. *)
+let tester_lo = function
+  | Graph { family = Regular degree; _ } -> Some (degree + 1)
+  | And | Threshold _ | Graph _ -> None
 
 let eval = function
   | Bound { name; params } -> (
@@ -238,7 +294,7 @@ let eval = function
       let rng = Dut_prng.Rng.create seed in
       match
         Dut_core.Evaluate.critical_q ~adaptive ~trials ~level ~rng ~ell ~eps
-          ?hi ?guess
+          ?lo:(tester_lo tester) ?hi ?guess
           (make_tester tester ~n ~eps ~k)
       with
       | Some q -> J.int q

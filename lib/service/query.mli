@@ -25,12 +25,25 @@
      "eps":0.3,"k":32,"q":24,"trials":120,"level":0.72,"seed":2019}
     {"id":2,"kind":"critical","tester":"and","ell":7,"eps":0.3,"k":32,
      "guess":48}
+    {"id":3,"kind":"power","tester":"graph","family":"bipartite","t":1,
+     "ell":5,"eps":0.4,"k":16,"q":40}
     v}
 
     Responses repeat the request [id] and carry either
     [{"status":"ok","value":…}] or [{"status":"error","error":…}]. *)
 
-type tester = And | Threshold of int  (** reject threshold [t] *)
+type graph_family = Clique | Matching | Bipartite | Regular of int
+    (** Comparison-graph families servable over the wire. [Regular d]
+        requires an even [d] (odd degrees constrain q's parity, which a
+        critical-q bisection cannot honour); its graph seed is fixed at
+        1, so equal canonical queries always name the same graph. *)
+
+type tester =
+  | And
+  | Threshold of int  (** reject threshold [t] *)
+  | Graph of { family : graph_family; t : int }
+      (** {!Dut_core.Comparison_graph.tester_fixed} over [family] with
+          reject threshold [t] (wire default 1). *)
 
 type t =
   | Bound of { name : string; params : (string * float) list }
